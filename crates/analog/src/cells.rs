@@ -1,0 +1,251 @@
+//! Transistor-level analog builders for the Fig. 2 cells, with FO4 loads
+//! and the defect-injection hooks of the paper's circuit experiments.
+//!
+//! Mirrors `sinw_switch::cells` at the electrical level: the same
+//! transistor topologies and naming (t1 … t4), but with voltage sources on
+//! the inputs, a Vdd supply, terminal parasitics from the device table and
+//! an FO4-equivalent load capacitance on the output — the configuration of
+//! the Fig. 5 leakage/delay sweeps.
+
+use crate::circuit::{AnalogCircuit, FetId, NodeId, SourceId, Waveform, GROUND};
+use sinw_device::table::TigTable;
+use sinw_switch::cells::CellKind;
+use std::sync::Arc;
+
+/// Supply voltage of the paper's simulations (22 nm node).
+pub const VDD: f64 = 1.2;
+
+/// Complement of a waveform under the 0/Vdd swing.
+#[must_use]
+pub fn complement(w: &Waveform) -> Waveform {
+    match w {
+        Waveform::Dc(v) => Waveform::Dc(VDD - v),
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            width,
+            fall,
+        } => Waveform::Pulse {
+            v0: VDD - v0,
+            v1: VDD - v1,
+            delay: *delay,
+            rise: *rise,
+            width: *width,
+            fall: *fall,
+        },
+    }
+}
+
+/// An analog cell instance with handles for measurement and fault
+/// injection.
+#[derive(Debug, Clone)]
+pub struct AnalogCell {
+    /// The cell kind.
+    pub kind: CellKind,
+    /// The underlying circuit.
+    pub circuit: AnalogCircuit,
+    /// Supply source (its delivered current is the leakage observable).
+    pub vdd_src: SourceId,
+    /// Input nodes in cell pin order.
+    pub inputs: Vec<NodeId>,
+    /// Output node.
+    pub out: NodeId,
+    /// Transistors in the paper's naming order (t1, t2, t3, t4).
+    pub fets: Vec<FetId>,
+}
+
+impl AnalogCell {
+    /// Build a cell with the given input waveforms (one per primary
+    /// input); complemented inputs of DP cells are derived automatically.
+    ///
+    /// An FO4 load (four inverter input capacitances) hangs on the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform count does not match the cell arity.
+    #[must_use]
+    pub fn build(kind: CellKind, table: Arc<TigTable>, input_waves: &[Waveform]) -> Self {
+        assert_eq!(input_waves.len(), kind.input_count(), "waveform arity");
+        let mut c = AnalogCircuit::new(table);
+        let vdd = c.node("vdd");
+        let vdd_src = c.add_vsource(vdd, GROUND, Waveform::Dc(VDD));
+
+        let names = ["a", "b", "c"];
+        let mut inputs = Vec::new();
+        let mut n_inputs = Vec::new();
+        for (k, w) in input_waves.iter().enumerate() {
+            let n = c.node(names[k]);
+            c.add_vsource(n, GROUND, w.clone());
+            inputs.push(n);
+            let nn = c.node(format!("n{}", names[k]));
+            c.add_vsource(nn, GROUND, complement(w));
+            n_inputs.push(nn);
+        }
+        let out = c.node("out");
+
+        let fets = match kind {
+            CellKind::Inv => vec![
+                c.add_fet(out, inputs[0], GROUND, GROUND, vdd),
+                c.add_fet(out, inputs[0], vdd, vdd, GROUND),
+            ],
+            CellKind::Nand2 => {
+                let mid = c.node("n1");
+                vec![
+                    c.add_fet(out, inputs[0], GROUND, GROUND, vdd),
+                    c.add_fet(out, inputs[1], GROUND, GROUND, vdd),
+                    c.add_fet(out, inputs[0], vdd, vdd, mid),
+                    c.add_fet(mid, inputs[1], vdd, vdd, GROUND),
+                ]
+            }
+            CellKind::Nor2 => {
+                let mid = c.node("n1");
+                vec![
+                    c.add_fet(mid, inputs[0], GROUND, GROUND, vdd),
+                    c.add_fet(out, inputs[1], GROUND, GROUND, mid),
+                    c.add_fet(out, inputs[0], vdd, vdd, GROUND),
+                    c.add_fet(out, inputs[1], vdd, vdd, GROUND),
+                ]
+            }
+            CellKind::Xor2 => vec![
+                c.add_fet(out, n_inputs[0], inputs[1], inputs[1], vdd),
+                c.add_fet(out, inputs[0], n_inputs[1], n_inputs[1], vdd),
+                c.add_fet(out, inputs[1], inputs[0], inputs[0], GROUND),
+                c.add_fet(out, inputs[0], inputs[1], inputs[1], GROUND),
+            ],
+            CellKind::Xor3 => vec![
+                c.add_fet(out, n_inputs[0], inputs[1], inputs[1], n_inputs[2]),
+                c.add_fet(out, inputs[0], n_inputs[1], n_inputs[1], n_inputs[2]),
+                c.add_fet(out, inputs[1], inputs[0], inputs[0], inputs[2]),
+                c.add_fet(out, inputs[0], inputs[1], inputs[1], inputs[2]),
+            ],
+            CellKind::Maj3 => vec![
+                c.add_fet(out, n_inputs[0], inputs[1], inputs[1], inputs[2]),
+                c.add_fet(out, inputs[0], n_inputs[1], n_inputs[1], inputs[2]),
+                c.add_fet(out, inputs[1], inputs[0], inputs[0], inputs[0]),
+                c.add_fet(out, inputs[0], inputs[1], inputs[1], inputs[1]),
+            ],
+        };
+
+        // FO4 load: four inverter input capacitances (two CG stacks each).
+        let p = c.table.parasitics;
+        c.add_capacitor(out, GROUND, 4.0 * 2.0 * p.c_cg);
+
+        AnalogCell {
+            kind,
+            circuit: c,
+            vdd_src,
+            inputs,
+            out,
+            fets,
+        }
+    }
+
+    /// Float one gate electrode of a transistor and drive it from an
+    /// external `Vcut` source instead — the open-gate experiment of
+    /// Fig. 5. Returns the node so the caller can re-drive it.
+    ///
+    /// `which` is 0 = CG, 1 = PGS, 2 = PGD.
+    pub fn float_gate(&mut self, t_index: usize, which: usize, vcut: f64) -> NodeId {
+        let node = self.circuit.node(format!("vcut_t{t_index}_{which}"));
+        self.circuit.add_vsource(node, GROUND, Waveform::Dc(vcut));
+        self.circuit.rewire_gate(self.fets[t_index], which, node);
+        node
+    }
+
+    /// Inject a channel break on transistor `t_index`.
+    pub fn break_channel(&mut self, t_index: usize) {
+        self.circuit.break_channel(self.fets[t_index]);
+    }
+
+    /// Bridge two nodes with a resistive short (the polarity-bridge
+    /// defects of Section V-B).
+    pub fn bridge(&mut self, a: NodeId, b: NodeId, ohms: f64) {
+        self.circuit.add_resistor(a, b, ohms);
+    }
+
+    /// The vdd node (for bridge injection).
+    #[must_use]
+    pub fn vdd_node(&self) -> NodeId {
+        self.circuit.find_node("vdd").expect("vdd exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{dc, SolverOpts};
+    use sinw_device::TigFet;
+    use std::sync::OnceLock;
+
+    fn shared_table() -> Arc<TigTable> {
+        static TABLE: OnceLock<Arc<TigTable>> = OnceLock::new();
+        TABLE
+            .get_or_init(|| Arc::new(TigTable::build_coarse(&TigFet::ideal())))
+            .clone()
+    }
+
+    fn dc_output(kind: CellKind, bits: &[bool]) -> f64 {
+        let waves: Vec<Waveform> = bits
+            .iter()
+            .map(|b| Waveform::Dc(if *b { VDD } else { 0.0 }))
+            .collect();
+        let cell = AnalogCell::build(kind, shared_table(), &waves);
+        let sol = dc(&cell.circuit, &SolverOpts::default()).expect("cell DC");
+        sol.voltage(cell.out)
+    }
+
+    #[test]
+    fn inverter_levels() {
+        assert!(dc_output(CellKind::Inv, &[false]) > 0.9 * VDD);
+        assert!(dc_output(CellKind::Inv, &[true]) < 0.1 * VDD);
+    }
+
+    #[test]
+    fn nand_levels() {
+        assert!(dc_output(CellKind::Nand2, &[true, true]) < 0.15 * VDD);
+        // A single p-mode pull-up restores to ~1.0 V (82 % of VDD) in this
+        // technology — the n/p drive asymmetry of the Schottky-barrier
+        // device.
+        assert!(dc_output(CellKind::Nand2, &[true, false]) > 0.8 * VDD);
+        assert!(dc_output(CellKind::Nand2, &[false, false]) > 0.9 * VDD);
+    }
+
+    #[test]
+    fn xor2_levels() {
+        for bits in 0..4u32 {
+            let a = bits & 1 == 1;
+            let b = bits & 2 == 2;
+            let v = dc_output(CellKind::Xor2, &[a, b]);
+            if a ^ b {
+                assert!(v > 0.8 * VDD, "XOR({a},{b}) = {v}");
+            } else {
+                assert!(v < 0.2 * VDD, "XOR({a},{b}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor3_and_maj_levels() {
+        for bits in 0..8u32 {
+            let v = [bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
+            // Pass-transistor cells hand a weak 1 onward (n-mode threshold
+            // drop, ~0.87 V) — the expected pass-gate behaviour.
+            let x = dc_output(CellKind::Xor3, &v);
+            let expect_x = v[0] ^ v[1] ^ v[2];
+            if expect_x {
+                assert!(x > 0.7 * VDD, "XOR3({v:?}) = {x}");
+            } else {
+                assert!(x < 0.3 * VDD, "XOR3({v:?}) = {x}");
+            }
+            let m = dc_output(CellKind::Maj3, &v);
+            let expect_m = (v[0] & v[1]) | (v[1] & v[2]) | (v[0] & v[2]);
+            if expect_m {
+                assert!(m > 0.7 * VDD, "MAJ({v:?}) = {m}");
+            } else {
+                assert!(m < 0.3 * VDD, "MAJ({v:?}) = {m}");
+            }
+        }
+    }
+}

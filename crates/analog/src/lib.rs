@@ -1,0 +1,25 @@
+//! # sinw-analog — SPICE-like simulation of TIG-SiNWFET cells
+//!
+//! Analog substrate of the DATE'15 reproduction *"Fault Modeling in
+//! Controllable Polarity Silicon Nanowire Circuits"*: the HSPICE stand-in
+//! of the paper's two-step flow (Section III-D). Circuits are built from
+//! resistors, capacitors, sources and four-terminal TIG-FET table models
+//! (`sinw-device`), solved with Newton MNA for DC operating points and
+//! Backward-Euler transient analysis.
+//!
+//! The [`cells`] module provides transistor-level builders for the Fig. 2
+//! cells with FO4 loads and the defect-injection hooks (floating-gate
+//! `Vcut` sources, bridges, channel breaks) used to regenerate Fig. 5 and
+//! Table III.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cells;
+pub mod circuit;
+pub mod linalg;
+pub mod measure;
+pub mod solver;
+
+pub use circuit::{AnalogCircuit, Element, FetId, NodeId, SourceId, Waveform, GROUND};
+pub use solver::{dc, dc_at, transient, DcSolution, SolveError, SolverOpts, Transient};

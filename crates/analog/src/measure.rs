@@ -1,0 +1,156 @@
+//! Measurement utilities: propagation delay and quiescent leakage — the
+//! two observables of the Fig. 5 sweeps.
+
+use crate::cells::{AnalogCell, VDD};
+use crate::circuit::NodeId;
+use crate::solver::{dc, transient, DcSolution, SolveError, SolverOpts, Transient};
+
+/// First time a waveform crosses `level` in the given direction after
+/// `t_from`.
+#[must_use]
+pub fn crossing_time(
+    wave: &[(f64, f64)],
+    level: f64,
+    rising: bool,
+    t_from: f64,
+) -> Option<f64> {
+    for w in wave.windows(2) {
+        let (t0, v0) = w[0];
+        let (t1, v1) = w[1];
+        if t1 < t_from {
+            continue;
+        }
+        let crosses = if rising {
+            v0 < level && v1 >= level
+        } else {
+            v0 > level && v1 <= level
+        };
+        if crosses {
+            let f = (level - v0) / (v1 - v0);
+            return Some(t0 + f * (t1 - t0));
+        }
+    }
+    None
+}
+
+/// Propagation delay from the 50 % crossing of `input` to the subsequent
+/// 50 % crossing of `output` (either direction), in seconds.
+#[must_use]
+pub fn propagation_delay(tr: &Transient, input: NodeId, output: NodeId) -> Option<f64> {
+    let vin = tr.node_waveform(input);
+    let vout = tr.node_waveform(output);
+    let half = VDD / 2.0;
+    let t_in = crossing_time(&vin, half, true, 0.0)
+        .or_else(|| crossing_time(&vin, half, false, 0.0))?;
+    let t_out = crossing_time(&vout, half, true, t_in)
+        .or_else(|| crossing_time(&vout, half, false, t_in))?;
+    Some(t_out - t_in)
+}
+
+/// Quiescent supply current of a solved operating point, in amperes.
+#[must_use]
+pub fn leakage(cell: &AnalogCell, sol: &DcSolution) -> f64 {
+    sol.delivered(cell.vdd_src).abs()
+}
+
+/// DC leakage of a cell (operating point at t = 0), in amperes.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn dc_leakage(cell: &AnalogCell, opts: &SolverOpts) -> Result<f64, SolveError> {
+    let sol = dc(&cell.circuit, opts)?;
+    Ok(leakage(cell, &sol))
+}
+
+/// Transient run tailored to a cell whose input 0 carries a pulse: returns
+/// the propagation delay input→output, in seconds.
+///
+/// # Errors
+///
+/// Propagates solver failures; returns `Ok(None)` when the output never
+/// switches (e.g. a masked fault).
+pub fn cell_delay(
+    cell: &AnalogCell,
+    t_stop: f64,
+    dt: f64,
+    opts: &SolverOpts,
+) -> Result<Option<f64>, SolveError> {
+    let tr = transient(&cell.circuit, t_stop, dt, opts)?;
+    Ok(propagation_delay(&tr, cell.inputs[0], cell.out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::AnalogCell;
+    use crate::circuit::Waveform;
+    use sinw_device::{TigFet, TigTable};
+    use sinw_switch::cells::CellKind;
+    use std::sync::{Arc, OnceLock};
+
+    fn shared_table() -> Arc<TigTable> {
+        static TABLE: OnceLock<Arc<TigTable>> = OnceLock::new();
+        TABLE
+            .get_or_init(|| Arc::new(TigTable::build_coarse(&TigFet::ideal())))
+            .clone()
+    }
+
+    #[test]
+    fn crossing_detection_interpolates() {
+        let wave = vec![(0.0, 0.0), (1.0, 1.0)];
+        let t = crossing_time(&wave, 0.25, true, 0.0).expect("crosses");
+        assert!((t - 0.25).abs() < 1e-12);
+        assert!(crossing_time(&wave, 0.25, false, 0.0).is_none());
+    }
+
+    #[test]
+    fn inverter_delay_is_hundreds_of_picoseconds() {
+        // FO4-loaded inverter: the paper's Fig. 5 delay axis spans
+        // 0–400 ps; our calibrated device should land in that range.
+        let pulse = Waveform::Pulse {
+            v0: 0.0,
+            v1: VDD,
+            delay: 0.5e-9,
+            rise: 20e-12,
+            width: 4e-9,
+            fall: 20e-12,
+        };
+        let cell = AnalogCell::build(CellKind::Inv, shared_table(), &[pulse]);
+        let delay = cell_delay(&cell, 3.0e-9, 5e-12, &SolverOpts::default())
+            .expect("transient converges")
+            .expect("output switches");
+        assert!(
+            delay > 1e-12 && delay < 2e-9,
+            "delay = {} ps",
+            delay * 1e12
+        );
+    }
+
+    #[test]
+    fn healthy_inverter_leakage_is_tiny() {
+        let cell = AnalogCell::build(
+            CellKind::Inv,
+            shared_table(),
+            &[Waveform::Dc(0.0)],
+        );
+        let leak = dc_leakage(&cell, &SolverOpts::default()).expect("dc");
+        assert!(leak < 1e-8, "leakage = {leak}");
+    }
+
+    #[test]
+    fn stuck_on_fight_leaks_microamps() {
+        // Bridge the output to ground while the pull-up drives 1: the
+        // supply must deliver a short-circuit current orders of magnitude
+        // above the quiescent floor.
+        let mut cell = AnalogCell::build(
+            CellKind::Inv,
+            shared_table(),
+            &[Waveform::Dc(0.0)],
+        );
+        let out = cell.out;
+        cell.bridge(out, crate::circuit::GROUND, 1.0e4);
+        let leak = dc_leakage(&cell, &SolverOpts::default()).expect("dc");
+        assert!(leak > 1e-8, "short leakage = {leak}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Stuck-at fault universe of a gate-level circuit.
+//!
+//! Faults live on signal stems and, where a signal fans out to more than
+//! one gate pin, on the individual branches — the classical single
+//! stuck-at fault universe that the paper's Section II baseline assumes.
+
+use sinw_switch::gate::{Circuit, GateId, SignalId};
+
+/// Where a stuck-at fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// On a signal stem (PI or gate output).
+    Signal(SignalId),
+    /// On one input pin of one gate (a fanout branch).
+    GatePin(GateId, usize),
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckAtFault {
+    /// Fault location.
+    pub site: FaultSite,
+    /// The value the site is stuck at.
+    pub value: bool,
+}
+
+impl StuckAtFault {
+    /// Stuck-at-0 at a site.
+    #[must_use]
+    pub fn sa0(site: FaultSite) -> Self {
+        StuckAtFault { site, value: false }
+    }
+
+    /// Stuck-at-1 at a site.
+    #[must_use]
+    pub fn sa1(site: FaultSite) -> Self {
+        StuckAtFault { site, value: true }
+    }
+
+    /// Human-readable description against a circuit.
+    #[must_use]
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let v = i32::from(self.value);
+        match self.site {
+            FaultSite::Signal(s) => format!("{} s-a-{v}", circuit.signal_name(s)),
+            FaultSite::GatePin(g, pin) => {
+                format!("{}.in{pin} s-a-{v}", circuit.gates()[g.0].name)
+            }
+        }
+    }
+}
+
+/// Enumerate the full single-stuck-at universe of a circuit: both
+/// polarities on every stem, plus branch faults wherever a signal feeds
+/// more than one pin.
+#[must_use]
+pub fn enumerate_stuck_at(circuit: &Circuit) -> Vec<StuckAtFault> {
+    let mut faults = Vec::new();
+    for s in 0..circuit.signal_count() {
+        let sig = SignalId(s);
+        faults.push(StuckAtFault::sa0(FaultSite::Signal(sig)));
+        faults.push(StuckAtFault::sa1(FaultSite::Signal(sig)));
+        let fanout = circuit.fanout(sig);
+        if fanout.len() > 1 {
+            for (g, pin) in fanout {
+                faults.push(StuckAtFault::sa0(FaultSite::GatePin(g, pin)));
+                faults.push(StuckAtFault::sa1(FaultSite::GatePin(g, pin)));
+            }
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinw_switch::cells::CellKind;
+
+    #[test]
+    fn fault_universe_counts_stems_and_branches() {
+        // a feeds two gates -> 2 stem + 4 branch faults for a; b and the
+        // two outputs contribute stems only.
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let o1 = c.add_gate(CellKind::Nand2, "g1", &[a, b]);
+        let o2 = c.add_gate(CellKind::Inv, "g2", &[a]);
+        c.mark_output(o1);
+        c.mark_output(o2);
+        let faults = enumerate_stuck_at(&c);
+        // stems: a, b, o1, o2 -> 8; branches: a fans out to 2 pins -> 4.
+        assert_eq!(faults.len(), 12);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        let o = c.add_gate(CellKind::Inv, "g1", &[a]);
+        c.mark_output(o);
+        let f = StuckAtFault::sa1(FaultSite::Signal(a));
+        assert_eq!(f.describe(&c), "a s-a-1");
+    }
+}

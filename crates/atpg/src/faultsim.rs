@@ -1,0 +1,327 @@
+//! Stuck-at fault simulation: serial and 64-way bit-parallel.
+//!
+//! The bit-parallel engine packs 64 fully-specified patterns into one
+//! machine word per signal and evaluates the whole block in one pass per
+//! fault (PPSFP). The serial engine simulates one pattern at a time and
+//! exists as the baseline for the ablation benchmarks.
+
+use crate::fault_list::{FaultSite, StuckAtFault};
+use sinw_switch::cells::CellKind;
+use sinw_switch::gate::Circuit;
+
+/// A block of up to 64 fully-specified input patterns.
+#[derive(Debug, Clone)]
+pub struct PatternBlock {
+    /// One word per primary input; bit `k` is the value in pattern `k`.
+    pub words: Vec<u64>,
+    /// Number of valid patterns (1..=64).
+    pub count: usize,
+}
+
+impl PatternBlock {
+    /// Pack a slice of patterns (each a bool per PI) into a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are supplied or arities mismatch.
+    #[must_use]
+    pub fn pack(circuit: &Circuit, patterns: &[Vec<bool>]) -> Self {
+        assert!(!patterns.is_empty() && patterns.len() <= 64);
+        let n_pi = circuit.primary_inputs().len();
+        let mut words = vec![0u64; n_pi];
+        for (k, p) in patterns.iter().enumerate() {
+            assert_eq!(p.len(), n_pi, "pattern arity");
+            for (i, b) in p.iter().enumerate() {
+                if *b {
+                    words[i] |= 1 << k;
+                }
+            }
+        }
+        PatternBlock {
+            words,
+            count: patterns.len(),
+        }
+    }
+
+    /// Mask with the valid-pattern bits set.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        if self.count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.count) - 1
+        }
+    }
+}
+
+fn eval_word(kind: CellKind, ins: &[u64]) -> u64 {
+    match kind {
+        CellKind::Inv => !ins[0],
+        CellKind::Nand2 => !(ins[0] & ins[1]),
+        CellKind::Nor2 => !(ins[0] | ins[1]),
+        CellKind::Xor2 => ins[0] ^ ins[1],
+        CellKind::Xor3 => ins[0] ^ ins[1] ^ ins[2],
+        CellKind::Maj3 => (ins[0] & ins[1]) | (ins[1] & ins[2]) | (ins[0] & ins[2]),
+    }
+}
+
+/// Bit-parallel good-machine simulation: one word per signal.
+#[must_use]
+pub fn good_sim(circuit: &Circuit, block: &PatternBlock) -> Vec<u64> {
+    let mut values = vec![0u64; circuit.signal_count()];
+    for (k, pi) in circuit.primary_inputs().iter().enumerate() {
+        values[pi.0] = block.words[k];
+    }
+    for gate in circuit.gates() {
+        let ins: Vec<u64> = gate.inputs.iter().map(|s| values[s.0]).collect();
+        values[gate.output.0] = eval_word(gate.kind, &ins);
+    }
+    values
+}
+
+/// Bit-parallel faulty-machine simulation under a single stuck-at fault.
+#[must_use]
+pub fn faulty_sim(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> Vec<u64> {
+    let stuck = if fault.value { u64::MAX } else { 0 };
+    let mut values = vec![0u64; circuit.signal_count()];
+    for (k, pi) in circuit.primary_inputs().iter().enumerate() {
+        values[pi.0] = block.words[k];
+        if fault.site == FaultSite::Signal(*pi) {
+            values[pi.0] = stuck;
+        }
+    }
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        let ins: Vec<u64> = gate
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(pin, s)| {
+                if fault.site == FaultSite::GatePin(sinw_switch::gate::GateId(gi), pin) {
+                    stuck
+                } else {
+                    values[s.0]
+                }
+            })
+            .collect();
+        let mut out = eval_word(gate.kind, &ins);
+        if fault.site == FaultSite::Signal(gate.output) {
+            out = stuck;
+        }
+        values[gate.output.0] = out;
+    }
+    values
+}
+
+/// Bitmask of the patterns in `block` that detect `fault` at some PO.
+#[must_use]
+pub fn detect_mask(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> u64 {
+    let good = good_sim(circuit, block);
+    let faulty = faulty_sim(circuit, fault, block);
+    let mut mask = 0u64;
+    for o in circuit.primary_outputs() {
+        mask |= good[o.0] ^ faulty[o.0];
+    }
+    mask & block.mask()
+}
+
+/// Result of simulating a fault list against a pattern set.
+#[derive(Debug, Clone)]
+pub struct FaultSimReport {
+    /// Detected faults (indices into the input fault list).
+    pub detected: Vec<usize>,
+    /// Undetected faults (indices).
+    pub undetected: Vec<usize>,
+    /// For each pattern, how many new faults it detected (first-detection
+    /// credit, in pattern order) — the fault-dropping profile.
+    pub first_detections: Vec<usize>,
+}
+
+impl FaultSimReport {
+    /// Fault coverage in [0, 1].
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.detected.len() + self.undetected.len();
+        if total == 0 {
+            return 1.0;
+        }
+        self.detected.len() as f64 / total as f64
+    }
+}
+
+/// Bit-parallel fault simulation of a whole fault list, with optional
+/// fault dropping (a dropped fault is not re-simulated in later blocks).
+#[must_use]
+pub fn simulate_faults(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+) -> FaultSimReport {
+    let mut detected_flags = vec![false; faults.len()];
+    let mut first_detections = vec![0usize; patterns.len()];
+    for (block_idx, chunk) in patterns.chunks(64).enumerate() {
+        let block = PatternBlock::pack(circuit, chunk);
+        for (fi, fault) in faults.iter().enumerate() {
+            if drop_detected && detected_flags[fi] {
+                continue;
+            }
+            let mask = detect_mask(circuit, *fault, &block);
+            if mask != 0 {
+                if !detected_flags[fi] {
+                    let first = mask.trailing_zeros() as usize;
+                    first_detections[block_idx * 64 + first] += 1;
+                }
+                detected_flags[fi] = true;
+            }
+        }
+    }
+    let mut detected = Vec::new();
+    let mut undetected = Vec::new();
+    for (fi, d) in detected_flags.iter().enumerate() {
+        if *d {
+            detected.push(fi);
+        } else {
+            undetected.push(fi);
+        }
+    }
+    FaultSimReport {
+        detected,
+        undetected,
+        first_detections,
+    }
+}
+
+/// Serial (one pattern at a time) fault simulation — the ablation baseline.
+#[must_use]
+pub fn simulate_faults_serial(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+) -> FaultSimReport {
+    let mut detected_flags = vec![false; faults.len()];
+    let mut first_detections = vec![0usize; patterns.len()];
+    for (pi, p) in patterns.iter().enumerate() {
+        let block = PatternBlock::pack(circuit, std::slice::from_ref(p));
+        for (fi, fault) in faults.iter().enumerate() {
+            if drop_detected && detected_flags[fi] {
+                continue;
+            }
+            if detect_mask(circuit, *fault, &block) != 0 {
+                if !detected_flags[fi] {
+                    first_detections[pi] += 1;
+                }
+                detected_flags[fi] = true;
+            }
+        }
+    }
+    let mut detected = Vec::new();
+    let mut undetected = Vec::new();
+    for (fi, d) in detected_flags.iter().enumerate() {
+        if *d {
+            detected.push(fi);
+        } else {
+            undetected.push(fi);
+        }
+    }
+    FaultSimReport {
+        detected,
+        undetected,
+        first_detections,
+    }
+}
+
+/// Reverse-order test compaction: keep only the patterns that still detect
+/// a new fault when replayed in reverse with fault dropping.
+#[must_use]
+pub fn compact_reverse(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+) -> Vec<Vec<bool>> {
+    let mut kept: Vec<Vec<bool>> = Vec::new();
+    let mut remaining: Vec<StuckAtFault> = faults.to_vec();
+    for p in patterns.iter().rev() {
+        if remaining.is_empty() {
+            break;
+        }
+        let block = PatternBlock::pack(circuit, std::slice::from_ref(p));
+        let before = remaining.len();
+        remaining.retain(|f| detect_mask(circuit, *f, &block) == 0);
+        if remaining.len() < before {
+            kept.push(p.clone());
+        }
+    }
+    kept.reverse();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_list::enumerate_stuck_at;
+    use rand::prelude::*;
+
+    fn random_patterns(n_pi: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| (0..n_pi).map(|_| rng.gen_bool(0.5)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_patterns_reach_full_c17_coverage() {
+        let c = Circuit::c17();
+        let faults = enumerate_stuck_at(&c);
+        let patterns: Vec<Vec<bool>> = (0..32u32)
+            .map(|bits| (0..5).map(|k| (bits >> k) & 1 == 1).collect())
+            .collect();
+        let report = simulate_faults(&c, &faults, &patterns, true);
+        assert_eq!(report.coverage(), 1.0, "c17 is fully testable");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let c = Circuit::ripple_adder(3);
+        let faults = enumerate_stuck_at(&c);
+        let patterns = random_patterns(c.primary_inputs().len(), 100, 42);
+        let par = simulate_faults(&c, &faults, &patterns, false);
+        let ser = simulate_faults_serial(&c, &faults, &patterns, false);
+        assert_eq!(par.detected, ser.detected);
+        assert_eq!(par.undetected, ser.undetected);
+    }
+
+    #[test]
+    fn fault_dropping_does_not_change_coverage() {
+        let c = Circuit::parity_tree(6);
+        let faults = enumerate_stuck_at(&c);
+        let patterns = random_patterns(c.primary_inputs().len(), 64, 7);
+        let with_drop = simulate_faults(&c, &faults, &patterns, true);
+        let without = simulate_faults(&c, &faults, &patterns, false);
+        assert_eq!(with_drop.detected.len(), without.detected.len());
+    }
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let c = Circuit::c17();
+        let faults = enumerate_stuck_at(&c);
+        let patterns = random_patterns(5, 40, 3);
+        let full = simulate_faults(&c, &faults, &patterns, true);
+        let compacted = compact_reverse(&c, &faults, &patterns);
+        let after = simulate_faults(&c, &faults, &compacted, true);
+        assert_eq!(full.detected.len(), after.detected.len());
+        assert!(compacted.len() <= patterns.len());
+    }
+
+    #[test]
+    fn detect_mask_is_per_pattern_exact() {
+        // INV chain: a s-a-0 detected exactly by patterns with a=1.
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        let o = c.add_gate(CellKind::Inv, "g", &[a]);
+        c.mark_output(o);
+        let fault = StuckAtFault::sa0(FaultSite::Signal(a));
+        let block = PatternBlock::pack(&c, &[vec![false], vec![true], vec![true]]);
+        assert_eq!(detect_mask(&c, fault, &block), 0b110);
+    }
+}

@@ -1,0 +1,43 @@
+//! # sinw-atpg — gate-level test generation for CP-SiNW circuits
+//!
+//! ATPG substrate of the DATE'15 reproduction *"Fault Modeling in
+//! Controllable Polarity Silicon Nanowire Circuits"*: the classical
+//! baseline algorithms the paper measures its new fault models against.
+//!
+//! * [`podem`] — PODEM stuck-at test generation, with the constrained
+//!   justification mode the cell-aware flow of `sinw-core` builds on;
+//! * [`faultsim`] — serial and 64-way bit-parallel stuck-at fault
+//!   simulation with fault dropping and reverse-order compaction;
+//! * [`collapse`] — structural fault-equivalence collapsing;
+//! * [`sof`] — classical two-pattern stuck-open generation, which covers
+//!   every break in the SP cells and *none* in the DP cells (the coverage
+//!   gap that motivates the paper's new test algorithm).
+//!
+//! ```
+//! use sinw_atpg::fault_list::enumerate_stuck_at;
+//! use sinw_atpg::podem::{generate_test, PodemConfig, PodemResult};
+//! use sinw_switch::gate::Circuit;
+//!
+//! let c17 = Circuit::c17();
+//! let fault = enumerate_stuck_at(&c17)[0];
+//! match generate_test(&c17, fault, &PodemConfig::default()) {
+//!     PodemResult::Test(pattern) => assert_eq!(pattern.len(), 5),
+//!     other => panic!("c17 is fully testable, got {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collapse;
+pub mod fault_list;
+pub mod faultsim;
+pub mod podem;
+pub mod sof;
+pub mod twin;
+
+pub use collapse::{collapse, CollapsedFaults};
+pub use fault_list::{enumerate_stuck_at, FaultSite, StuckAtFault};
+pub use faultsim::{simulate_faults, simulate_faults_serial, FaultSimReport, PatternBlock};
+pub use podem::{generate_test, generate_test_constrained, justify, PodemConfig, PodemResult};
+pub use sof::{cell_sof_tests, generate_sof_test, CircuitTwoPattern, SofResult, TwoPattern};

@@ -1,0 +1,273 @@
+//! Classical two-pattern stuck-open (SOF) test generation — the baseline
+//! the paper shows to be *insufficient* for dynamic-polarity cells.
+//!
+//! A channel break turns a transistor off forever. In a static CMOS-style
+//! cell this floats the output for the vectors whose only conduction path
+//! ran through the broken device; a two-pattern test `(init → eval)` first
+//! charges the output to the opposite value, then applies the vector that
+//! should flip it — the retained (wrong) value is observed (Section V-C).
+//!
+//! In the DP cells of Fig. 2 every conduction condition is served by a
+//! *redundant pair* of devices, so no single break ever floats the output:
+//! [`cell_sof_tests`] comes back empty for every XOR2/XOR3/MAJ3 transistor,
+//! which is exactly the coverage gap the paper's new algorithm closes (see
+//! `sinw-core`).
+
+use crate::fault_list::{FaultSite, StuckAtFault};
+use crate::podem::{generate_test_constrained, justify, PodemConfig, PodemResult};
+use sinw_switch::cells::{Cell, CellKind};
+use sinw_switch::fault::{FaultSet, TransistorFault};
+use sinw_switch::gate::{Circuit, GateId};
+use sinw_switch::sim::SwitchSim;
+use sinw_switch::value::{Logic, Strength};
+
+/// A two-pattern test at the cell boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoPattern {
+    /// Initialisation vector (cell inputs).
+    pub init: Vec<bool>,
+    /// Evaluation vector; the faulty output retains the old value.
+    pub eval: Vec<bool>,
+}
+
+impl std::fmt::Display for TwoPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let render =
+            |v: &[bool]| -> String { v.iter().map(|b| if *b { '1' } else { '0' }).collect() };
+        write!(f, "({} -> {})", render(&self.init), render(&self.eval))
+    }
+}
+
+/// All two-pattern tests that detect a channel break on transistor
+/// `t_index` of a `kind` cell, found by exhaustive switch-level search.
+///
+/// A pair qualifies when the break is silent on the init vector, the
+/// fault-free outputs of the two vectors differ, and the faulty evaluation
+/// retains the init value at charge strength.
+#[must_use]
+pub fn cell_sof_tests(kind: CellKind, t_index: usize) -> Vec<TwoPattern> {
+    let cell = Cell::build(kind);
+    let n = cell.inputs.len();
+    let tid = cell.transistors[t_index];
+    let mut tests = Vec::new();
+    for init_bits in 0..(1u32 << n) {
+        for eval_bits in 0..(1u32 << n) {
+            if init_bits == eval_bits {
+                continue;
+            }
+            let init: Vec<bool> = (0..n).map(|k| (init_bits >> k) & 1 == 1).collect();
+            let eval: Vec<bool> = (0..n).map(|k| (eval_bits >> k) & 1 == 1).collect();
+            let good_init = Logic::from_bool(kind.function(&init));
+            let good_eval = Logic::from_bool(kind.function(&eval));
+            if good_init == good_eval {
+                continue;
+            }
+            let faults = FaultSet::single(tid, TransistorFault::ChannelBreak);
+            let mut sim = SwitchSim::with_faults(&cell.netlist, faults);
+            let r1 = sim.apply(&cell.input_assignment(&init));
+            if r1.value(cell.output) != good_init {
+                // The break already disturbs the init vector; a one-pattern
+                // test would catch it, but it is not a clean SOF pair.
+                continue;
+            }
+            let r2 = sim.apply(&cell.input_assignment(&eval));
+            let retained = r2.value(cell.output) == good_init
+                && r2.strengths[cell.output.0] == Strength::Charged;
+            if retained {
+                tests.push(TwoPattern { init, eval });
+            }
+        }
+    }
+    tests
+}
+
+/// Whether a channel break on the given transistor of a cell is detectable
+/// at all by two-pattern testing at the cell boundary.
+#[must_use]
+pub fn cell_break_is_sof_testable(kind: CellKind, t_index: usize) -> bool {
+    !cell_sof_tests(kind, t_index).is_empty()
+}
+
+/// A circuit-level two-pattern test: full PI vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitTwoPattern {
+    /// First (initialisation) PI vector.
+    pub init: Vec<bool>,
+    /// Second (evaluation) PI vector; the PO response differs from the
+    /// fault-free one when the targeted break is present.
+    pub eval: Vec<bool>,
+}
+
+/// Outcome of circuit-level SOF generation for one transistor break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SofResult {
+    /// A two-pattern test was found.
+    Test(CircuitTwoPattern),
+    /// The break is masked at the cell boundary (the DP redundancy of
+    /// Section V-C) — no classical SOF test exists.
+    CellMasked,
+    /// Cell-level pairs exist but none could be justified/propagated in
+    /// the surrounding circuit.
+    CircuitBlocked,
+}
+
+/// Generate a classical two-pattern SOF test for a channel break on
+/// transistor `t_index` of gate `gate` inside `circuit`.
+///
+/// The evaluation vector is produced by constrained PODEM: the cell inputs
+/// are pinned to the cell-level evaluation vector while the output —
+/// which floats at the *initialisation* value under the fault — is treated
+/// as stuck there and propagated to a primary output.
+#[must_use]
+pub fn generate_sof_test(
+    circuit: &Circuit,
+    gate: GateId,
+    t_index: usize,
+    config: &PodemConfig,
+) -> SofResult {
+    let g = &circuit.gates()[gate.0];
+    let pairs = cell_sof_tests(g.kind, t_index);
+    if pairs.is_empty() {
+        return SofResult::CellMasked;
+    }
+    for pair in &pairs {
+        let retained = g.kind.function(&pair.init);
+        // Evaluation vector: pin the cell inputs, propagate out s-a-retained.
+        let constraints: Vec<(sinw_switch::gate::SignalId, bool)> = g
+            .inputs
+            .iter()
+            .zip(&pair.eval)
+            .map(|(s, v)| (*s, *v))
+            .collect();
+        let fault = StuckAtFault {
+            site: FaultSite::Signal(g.output),
+            value: retained,
+        };
+        let eval_pattern = match generate_test_constrained(circuit, fault, &constraints, config)
+        {
+            PodemResult::Test(p) => p,
+            _ => continue,
+        };
+        // Initialisation vector: justify the cell-level init inputs.
+        let init_constraints: Vec<(sinw_switch::gate::SignalId, bool)> = g
+            .inputs
+            .iter()
+            .zip(&pair.init)
+            .map(|(s, v)| (*s, *v))
+            .collect();
+        if let Some(init_pattern) = justify(circuit, &init_constraints, config) {
+            return SofResult::Test(CircuitTwoPattern {
+                init: init_pattern,
+                eval: eval_pattern,
+            });
+        }
+    }
+    SofResult::CircuitBlocked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand_two_pattern_tests_match_the_paper() {
+        // Section V-C gives three NAND pairs: v1 = (11 -> 01),
+        // v2 = (11 -> 10), v3 = (00 -> 11). With our pin order (a, b) the
+        // vector "01" means a=0, b=1.
+        let t = |s: &str| -> Vec<bool> { s.chars().map(|c| c == '1').collect() };
+        // t1 (pull-up, CG = a): broken path used when a=0 -> eval 01.
+        let t1_tests = cell_sof_tests(CellKind::Nand2, 0);
+        assert!(
+            t1_tests.contains(&TwoPattern {
+                init: t("11"),
+                eval: t("01")
+            }),
+            "t1 tests: {t1_tests:?}"
+        );
+        // t2 (pull-up, CG = b): eval 10.
+        let t2_tests = cell_sof_tests(CellKind::Nand2, 1);
+        assert!(t2_tests.contains(&TwoPattern {
+            init: t("11"),
+            eval: t("10")
+        }));
+        // t3/t4 (series pull-down): eval 11 after initialising with 00.
+        for ti in [2usize, 3] {
+            let tests = cell_sof_tests(CellKind::Nand2, ti);
+            assert!(
+                tests.contains(&TwoPattern {
+                    init: t("00"),
+                    eval: t("11")
+                }),
+                "t{} tests: {tests:?}",
+                ti + 1
+            );
+        }
+    }
+
+    #[test]
+    fn every_sp_cell_break_is_sof_testable() {
+        for kind in [CellKind::Inv, CellKind::Nand2, CellKind::Nor2] {
+            let count = Cell::build(kind).transistors.len();
+            for ti in 0..count {
+                assert!(
+                    cell_break_is_sof_testable(kind, ti),
+                    "{kind} t{} must be SOF-testable",
+                    ti + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_dp_cell_break_is_sof_testable() {
+        // The paper's headline: the redundant pass-transistor pairs mask
+        // every single channel break in the DP cells.
+        for kind in [CellKind::Xor2, CellKind::Xor3, CellKind::Maj3] {
+            for ti in 0..4 {
+                assert!(
+                    !cell_break_is_sof_testable(kind, ti),
+                    "{kind} t{} unexpectedly SOF-testable",
+                    ti + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_level_sof_on_c17() {
+        // Every NAND transistor break in c17 should get a two-pattern test.
+        let c = Circuit::c17();
+        let config = PodemConfig::default();
+        let mut found = 0;
+        let mut masked = 0;
+        for gi in 0..c.gates().len() {
+            for ti in 0..4 {
+                match generate_sof_test(&c, GateId(gi), ti, &config) {
+                    SofResult::Test(_) => found += 1,
+                    SofResult::CellMasked => masked += 1,
+                    SofResult::CircuitBlocked => {}
+                }
+            }
+        }
+        assert_eq!(masked, 0, "SP cells are never cell-masked");
+        assert!(found >= 20, "most c17 breaks testable, found {found}");
+    }
+
+    #[test]
+    fn sof_masking_in_dp_circuit() {
+        // A full adder is built from DP cells only: classical SOF testing
+        // covers none of its channel breaks.
+        let c = Circuit::full_adder();
+        let config = PodemConfig::default();
+        for gi in 0..c.gates().len() {
+            for ti in 0..4 {
+                assert_eq!(
+                    generate_sof_test(&c, GateId(gi), ti, &config),
+                    SofResult::CellMasked,
+                    "gate {gi} t{}",
+                    ti + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the ATPG substrate: PODEM soundness and
+//! completeness on random circuits, and engine agreement.
+
+use proptest::prelude::*;
+use sinw_atpg::collapse::collapse;
+use sinw_atpg::fault_list::enumerate_stuck_at;
+use sinw_atpg::faultsim::{detect_mask, simulate_faults, simulate_faults_serial, PatternBlock};
+use sinw_atpg::podem::{generate_test, PodemConfig, PodemResult};
+use sinw_switch::cells::CellKind;
+use sinw_switch::gate::{Circuit, SignalId};
+
+/// A random DAG of library cells over `n_pi` primary inputs.
+fn random_circuit(n_pi: usize, n_gates: usize, seed: &[u8]) -> Circuit {
+    let mut c = Circuit::new();
+    let mut signals: Vec<SignalId> = (0..n_pi).map(|i| c.add_input(format!("i{i}"))).collect();
+    let kinds = [
+        CellKind::Inv,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xor3,
+        CellKind::Maj3,
+    ];
+    let mut k = 0usize;
+    let mut byte = |i: usize| -> usize { seed[i % seed.len()] as usize };
+    for g in 0..n_gates {
+        let kind = kinds[byte(3 * g) % kinds.len()];
+        let mut inputs = Vec::new();
+        for pin in 0..kind.input_count() {
+            inputs.push(signals[byte(3 * g + pin + 1) % signals.len()]);
+        }
+        k += 1;
+        let out = c.add_gate(kind, format!("g{k}"), &inputs);
+        signals.push(out);
+    }
+    // Mark the last few signals as outputs so everything has a chance to
+    // be observed.
+    let n = signals.len();
+    for s in signals.iter().skip(n.saturating_sub(3)) {
+        c.mark_output(*s);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PODEM soundness + completeness: a generated test must detect its
+    /// fault under fault simulation; an `Untestable` verdict must survive
+    /// exhaustive simulation of all input patterns.
+    #[test]
+    fn podem_is_sound_and_complete(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..8,
+    ) {
+        let n_pi = 4usize;
+        let c = random_circuit(n_pi, n_gates, &seed);
+        let config = PodemConfig::default();
+        let exhaustive: Vec<Vec<bool>> = (0..(1u32 << n_pi))
+            .map(|bits| (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect())
+            .collect();
+        let block = PatternBlock::pack(&c, &exhaustive);
+
+        for fault in enumerate_stuck_at(&c) {
+            match generate_test(&c, fault, &config) {
+                PodemResult::Test(p) => {
+                    let one = PatternBlock::pack(&c, std::slice::from_ref(&p));
+                    prop_assert!(
+                        detect_mask(&c, fault, &one) != 0,
+                        "pattern {p:?} misses {}",
+                        fault.describe(&c)
+                    );
+                }
+                PodemResult::Untestable => {
+                    prop_assert!(
+                        detect_mask(&c, fault, &block) == 0,
+                        "{} declared untestable but a pattern exists",
+                        fault.describe(&c)
+                    );
+                }
+                PodemResult::Aborted => {
+                    // Permitted by the contract, but should not occur on
+                    // such small circuits.
+                    prop_assert!(false, "aborted on a tiny circuit");
+                }
+            }
+        }
+    }
+
+    /// The serial and 64-way bit-parallel fault simulators agree exactly.
+    #[test]
+    fn serial_and_parallel_fault_sim_agree(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..10,
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 5),
+            1..40
+        ),
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let faults = enumerate_stuck_at(&c);
+        let par = simulate_faults(&c, &faults, &patterns, false);
+        let ser = simulate_faults_serial(&c, &faults, &patterns, false);
+        prop_assert_eq!(par.detected, ser.detected);
+        prop_assert_eq!(par.undetected, ser.undetected);
+    }
+
+    /// Collapsed fault classes are detection-equivalent under exhaustive
+    /// simulation.
+    #[test]
+    fn collapse_preserves_detectability(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..8,
+    ) {
+        let n_pi = 4usize;
+        let c = random_circuit(n_pi, n_gates, &seed);
+        let faults = enumerate_stuck_at(&c);
+        let collapsed = collapse(&c, &faults);
+        let exhaustive: Vec<Vec<bool>> = (0..(1u32 << n_pi))
+            .map(|bits| (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect())
+            .collect();
+        let block = PatternBlock::pack(&c, &exhaustive);
+        for (fi, fault) in faults.iter().enumerate() {
+            let rep = collapsed.representatives[collapsed.class_of[fi]];
+            prop_assert_eq!(
+                detect_mask(&c, *fault, &block),
+                detect_mask(&c, rep, &block),
+                "{} vs its representative {}",
+                fault.describe(&c),
+                rep.describe(&c)
+            );
+        }
+    }
+}

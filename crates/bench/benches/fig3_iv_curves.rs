@@ -1,0 +1,27 @@
+//! Fig. 3 bench: regenerates the GOS I–V curves and times the
+//! synthetic-TCAD device evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinw_core::experiments::Experiments;
+use sinw_device::model::{Bias, TigFet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = Experiments::standard();
+    println!("\n{}", ctx.fig3());
+
+    let fet = TigFet::ideal();
+    c.bench_function("fig3/drain_current_one_bias", |b| {
+        b.iter(|| black_box(fet.drain_current(black_box(Bias::uniform_gates(1.2, 1.2)))));
+    });
+    c.bench_function("fig3/full_vcg_sweep_49pts", |b| {
+        b.iter(|| black_box(fet.sweep_vcg(1.2, 1.2, 1.2, 0.0, 1.2, 49)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

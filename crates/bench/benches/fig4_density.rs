@@ -1,0 +1,26 @@
+//! Fig. 4 bench: regenerates the channel electron densities and times the
+//! density probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinw_core::experiments::Experiments;
+use sinw_device::defects::DeviceDefect;
+use sinw_device::geometry::GateTerminal;
+use sinw_device::model::{Bias, TigFet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = Experiments::standard();
+    println!("\n{}", ctx.fig4());
+
+    let sick = TigFet::ideal().with_defect(DeviceDefect::gos(GateTerminal::Pgs));
+    c.bench_function("fig4/probe_density", |b| {
+        b.iter(|| black_box(sick.probe_density(black_box(Bias::uniform_gates(1.2, 1.2)))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 5 bench: regenerates all six leakage/delay-vs-Vcut sweeps (INV,
+//! NAND, XOR2; pull-up t1 and pull-down t3) and times one operating-point
+//! solve of the defective cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinw_analog::cells::{AnalogCell, VDD};
+use sinw_analog::circuit::Waveform;
+use sinw_analog::solver::{dc, SolverOpts};
+use sinw_core::experiments::Experiments;
+use sinw_switch::cells::CellKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = Experiments::standard();
+    for (kind, t_index) in [
+        (CellKind::Inv, 0),
+        (CellKind::Inv, 1),
+        (CellKind::Nand2, 0),
+        (CellKind::Nand2, 2),
+        (CellKind::Xor2, 0),
+        (CellKind::Xor2, 2),
+    ] {
+        println!("\n{}", ctx.fig5(kind, t_index));
+    }
+
+    let opts = SolverOpts::default();
+    c.bench_function("fig5/inv_vcut_dc_op", |b| {
+        b.iter(|| {
+            let mut cell =
+                AnalogCell::build(CellKind::Inv, ctx.table.clone(), &[Waveform::Dc(0.0)]);
+            cell.float_gate(0, 1, 0.5 * VDD);
+            black_box(dc(&cell.circuit, &opts).expect("op"));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

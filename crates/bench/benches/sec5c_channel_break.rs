@@ -1,0 +1,42 @@
+//! Section V-C bench: regenerates the masking table and the
+//! baseline-vs-new-algorithm comparison, and times both the (failing)
+//! classical SOF search and the paper's polarity-injection verdict.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinw_core::cbreak::bridge_injection_verdict;
+use sinw_core::experiments::Experiments;
+use sinw_switch::cells::CellKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = Experiments::standard();
+    println!("\n{}", ctx.sec5c());
+
+    c.bench_function("sec5c/classical_sof_search_xor2", |b| {
+        b.iter(|| {
+            for t in 0..4 {
+                black_box(sinw_atpg::sof::cell_sof_tests(CellKind::Xor2, t));
+            }
+        });
+    });
+
+    let dict = ctx.table3();
+    c.bench_function("sec5c/polarity_injection_verdict", |b| {
+        b.iter(|| {
+            black_box(bridge_injection_verdict(
+                CellKind::Xor2,
+                0,
+                &dict,
+                &ctx.table,
+                true,
+            ));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table I bench: regenerates the process/defect mapping and census, and
+//! times the inductive fault analysis of the full cell library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinw_core::experiments::Experiments;
+use sinw_core::fault_model::CellClassification;
+use sinw_switch::cells::CellKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = Experiments::fast();
+    println!("\n{}", ctx.table1());
+
+    c.bench_function("table1/classify_cell_library", |b| {
+        b.iter(|| {
+            for kind in CellKind::ALL {
+                black_box(CellClassification::build(kind));
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table III bench: regenerates the XOR2 polarity-fault dictionary via
+//! exhaustive analog fault injection and times one injected solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinw_analog::cells::{AnalogCell, VDD};
+use sinw_analog::circuit::Waveform;
+use sinw_analog::solver::{dc, SolverOpts};
+use sinw_core::dictionary::inject_polarity_fault;
+use sinw_core::experiments::{render_table3, Experiments};
+use sinw_switch::cells::CellKind;
+use sinw_switch::fault::TransistorFault;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = Experiments::standard();
+    let dict = ctx.table3();
+    println!("\n{}", render_table3(&dict));
+
+    let opts = SolverOpts::default();
+    c.bench_function("table3/one_injected_dc_op", |b| {
+        b.iter(|| {
+            let mut cell = AnalogCell::build(
+                CellKind::Xor2,
+                ctx.table.clone(),
+                &[Waveform::Dc(0.0), Waveform::Dc(VDD)],
+            );
+            inject_polarity_fault(&mut cell, 2, TransistorFault::StuckAtNType);
+            black_box(dc(&cell.circuit, &opts).expect("op"));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

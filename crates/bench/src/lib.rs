@@ -1,0 +1,6 @@
+//! # sinw-bench — benchmark harness
+//!
+//! Criterion benches regenerating every table and figure of the paper;
+//! see `benches/` for one target per artifact plus the ablations. The
+//! experiment logic itself lives in [`sinw_core::experiments`] so that
+//! tests and benches report identical numbers.

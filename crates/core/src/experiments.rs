@@ -1,0 +1,686 @@
+//! Experiment drivers: one entry point per table and figure of the paper.
+//!
+//! Every driver returns a structured result that renders to a paper-style
+//! text table via [`std::fmt::Display`]; the Criterion benches, the
+//! examples and EXPERIMENTS.md all consume these, so the numbers reported
+//! everywhere come from a single implementation.
+
+use crate::cbreak::{self, Verdict};
+use crate::dictionary::{build_dictionary, CellDictionary};
+use crate::fault_model::CellClassification;
+use crate::process;
+use sinw_analog::cells::{AnalogCell, VDD};
+use sinw_analog::circuit::Waveform;
+use sinw_analog::measure::{cell_delay, dc_leakage};
+use sinw_analog::solver::SolverOpts;
+use sinw_device::defects::DeviceDefect;
+use sinw_device::geometry::GateTerminal;
+use sinw_device::model::{Bias, TigFet};
+use sinw_device::table::TigTable;
+use sinw_device::transport::EnergyGrid;
+use sinw_switch::cells::{Cell, CellKind};
+use sinw_switch::fault::TransistorFault;
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared context: the device table (expensive to build) plus fidelity.
+#[derive(Debug, Clone)]
+pub struct Experiments {
+    /// The compact-model table shared by all analog experiments.
+    pub table: Arc<TigTable>,
+    /// Reduced sweep resolutions for test runs.
+    pub fast: bool,
+}
+
+impl Experiments {
+    /// Production fidelity (13-point table axes, full sweeps).
+    #[must_use]
+    pub fn standard() -> Self {
+        Experiments {
+            table: Arc::new(TigTable::build_standard(&TigFet::ideal())),
+            fast: false,
+        }
+    }
+
+    /// Test fidelity (coarse table, short sweeps).
+    #[must_use]
+    pub fn fast() -> Self {
+        Experiments {
+            table: Arc::new(TigTable::build_coarse(&TigFet::ideal())),
+            fast: true,
+        }
+    }
+
+    fn device(&self) -> TigFet {
+        let mut fet = TigFet::ideal();
+        if self.fast {
+            fet.params.grid = EnergyGrid::coarse();
+        }
+        fet
+    }
+
+    // ------------------------------------------------------------------
+    // Fig. 2 — cell functionality
+    // ------------------------------------------------------------------
+
+    /// Verify the truth table of all six cells at switch level.
+    #[must_use]
+    pub fn fig2(&self) -> Fig2Result {
+        let rows = CellKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let failures = Cell::build(kind).verify_truth_table().len();
+                (kind, failures)
+            })
+            .collect();
+        Fig2Result { rows }
+    }
+
+    // ------------------------------------------------------------------
+    // Fig. 3 — I–V with GOS
+    // ------------------------------------------------------------------
+
+    /// n-type I–V curves, defect-free and with a GOS on each gate site.
+    #[must_use]
+    pub fn fig3(&self) -> Fig3Result {
+        let points = if self.fast { 13 } else { 49 };
+        let healthy = self.device();
+        let sweep =
+            |fet: &TigFet| -> Vec<(f64, f64)> { fet.sweep_vcg(1.2, 1.2, 1.2, 0.0, 1.2, points) };
+        let curve_free = sweep(&healthy);
+        let i_sat = curve_free.last().expect("points >= 2").1;
+        let vth0 = healthy.threshold_voltage(1.2, 1.2, 3e-7);
+
+        let mut rows = Vec::new();
+        let mut curves = vec![(None, curve_free)];
+        for site in GateTerminal::ALL {
+            let mut sick = self.device().with_defect(DeviceDefect::gos(site));
+            if self.fast {
+                sick.params.grid = EnergyGrid::coarse();
+            }
+            let curve = sweep(&sick);
+            let sat_ratio = curve.last().expect("points >= 2").1 / i_sat;
+            let dvth = match (sick.threshold_voltage(1.2, 1.2, 3e-7), vth0) {
+                (Some(v), Some(v0)) => v - v0,
+                _ => f64::NAN,
+            };
+            let i_low_vds = sick.drain_current(Bias::uniform_gates(1.2, 0.01));
+            rows.push(Fig3Row {
+                site,
+                sat_ratio,
+                delta_vth_mv: dvth * 1e3,
+                negative_id_at_low_vds: i_low_vds < 0.0,
+            });
+            curves.push((Some(site), curve));
+        }
+        Fig3Result {
+            i_sat_healthy: i_sat,
+            rows,
+            curves,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fig. 4 — channel electron density
+    // ------------------------------------------------------------------
+
+    /// Bottleneck channel electron density, defect-free and per GOS site.
+    #[must_use]
+    pub fn fig4(&self) -> Fig4Result {
+        let sat = Bias::uniform_gates(1.2, 1.2);
+        let healthy = self.device().probe_density(sat);
+        let rows = GateTerminal::ALL
+            .into_iter()
+            .map(|site| {
+                let sick = self.device().with_defect(DeviceDefect::gos(site));
+                let n = sick.probe_density(sat);
+                (site, n)
+            })
+            .collect();
+        Fig4Result {
+            n_healthy: healthy,
+            rows,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fig. 5 — leakage/delay vs Vcut
+    // ------------------------------------------------------------------
+
+    /// Open-gate sweep of one cell/transistor: leakage and delay vs the
+    /// floating-node voltage `Vcut`, with PGS or PGD floated.
+    #[must_use]
+    pub fn fig5(&self, kind: CellKind, t_index: usize) -> Fig5Result {
+        let n_vcut = if self.fast { 5 } else { 13 };
+        let opts = SolverOpts::default();
+        let pulse = Waveform::Pulse {
+            v0: 0.0,
+            v1: VDD,
+            delay: 0.5e-9,
+            rise: 20e-12,
+            width: 4e-9,
+            fall: 20e-12,
+        };
+        // Side inputs sensitise the cell so the output follows input a.
+        let side = |k: usize| -> Waveform {
+            match kind {
+                CellKind::Nand2 => Waveform::Dc(VDD),
+                _ => {
+                    let _ = k;
+                    Waveform::Dc(0.0)
+                }
+            }
+        };
+        let waves: Vec<Waveform> = (0..kind.input_count())
+            .map(|k| if k == 0 { pulse.clone() } else { side(k) })
+            .collect();
+        let static_waves: Vec<Waveform> = (0..kind.input_count())
+            .map(|k| {
+                if k == 0 {
+                    Waveform::Dc(0.0)
+                } else {
+                    side(k)
+                }
+            })
+            .collect();
+
+        let mut points = Vec::new();
+        for i in 0..n_vcut {
+            let vcut = 1.2 * i as f64 / (n_vcut - 1) as f64;
+            let mut leak = [f64::NAN; 2];
+            let mut delay = [f64::NAN; 2];
+            for (which, slot) in [(1usize, 0usize), (2, 1)] {
+                // Leakage at the static state.
+                let mut cell = AnalogCell::build(kind, self.table.clone(), &static_waves);
+                cell.float_gate(t_index, which, vcut);
+                if let Ok(l) = dc_leakage(&cell, &opts) {
+                    leak[slot] = l;
+                }
+                // Delay with the pulsed input.
+                let mut cell = AnalogCell::build(kind, self.table.clone(), &waves);
+                cell.float_gate(t_index, which, vcut);
+                if let Ok(Some(d)) = cell_delay(&cell, 3.0e-9, 10e-12, &opts) {
+                    delay[slot] = d;
+                }
+            }
+            points.push(Fig5Point {
+                vcut,
+                leak_pgs_open: leak[0],
+                leak_pgd_open: leak[1],
+                delay_pgs_open: delay[0],
+                delay_pgd_open: delay[1],
+            });
+        }
+        Fig5Result {
+            kind,
+            t_index,
+            points,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table I — process steps and defect census
+    // ------------------------------------------------------------------
+
+    /// The process/defect mapping plus the per-cell defect census and
+    /// fault-model classification.
+    #[must_use]
+    pub fn table1(&self) -> Table1Result {
+        let cells = CellKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let census = process::census(kind);
+                let class = CellClassification::build(kind);
+                Table1Row {
+                    kind,
+                    total_defects: census.total(),
+                    classical: class.classically_covered(),
+                    needs_new: class.needs_new_models(),
+                }
+            })
+            .collect();
+        Table1Result { cells }
+    }
+
+    // ------------------------------------------------------------------
+    // Table III — XOR2 polarity-fault dictionary
+    // ------------------------------------------------------------------
+
+    /// The XOR2 stuck-at n/p dictionary (analog-resolved).
+    #[must_use]
+    pub fn table3(&self) -> CellDictionary {
+        build_dictionary(CellKind::Xor2, &self.table)
+    }
+
+    // ------------------------------------------------------------------
+    // Section V-B — polarity bridges
+    // ------------------------------------------------------------------
+
+    /// Worst-case IDDQ swing of polarity bridges per cell.
+    #[must_use]
+    pub fn sec5b(&self) -> Sec5bResult {
+        let kinds = if self.fast {
+            vec![CellKind::Inv, CellKind::Xor2]
+        } else {
+            CellKind::ALL.to_vec()
+        };
+        let rows = kinds
+            .into_iter()
+            .map(|kind| {
+                let dict = build_dictionary(kind, &self.table);
+                let best = dict
+                    .entries
+                    .iter()
+                    .map(|e| e.iddq_faulty / e.iddq_healthy)
+                    .fold(0.0f64, f64::max);
+                let complete = dict.complete();
+                (kind, best, complete)
+            })
+            .collect();
+        Sec5bResult { rows }
+    }
+
+    // ------------------------------------------------------------------
+    // Section V-C — channel-break masking and the new algorithm
+    // ------------------------------------------------------------------
+
+    /// Masking measurements plus baseline-vs-new-algorithm coverage for
+    /// the XOR2.
+    #[must_use]
+    pub fn sec5c(&self) -> Sec5cResult {
+        let dict = build_dictionary(CellKind::Xor2, &self.table);
+        let mut rows = Vec::new();
+        for t in 0..4 {
+            let masking = cbreak::masking_measurements(CellKind::Xor2, t, &self.table);
+            let sof_testable = sinw_atpg::sof::cell_break_is_sof_testable(CellKind::Xor2, t);
+            let healthy_verdict =
+                cbreak::bridge_injection_verdict(CellKind::Xor2, t, &dict, &self.table, false);
+            let broken_verdict =
+                cbreak::bridge_injection_verdict(CellKind::Xor2, t, &dict, &self.table, true);
+            rows.push(Sec5cRow {
+                transistor: t,
+                leakage_ratio: masking.leakage_ratio,
+                delay_ratio: masking.delay_ratio,
+                functionality_intact: masking.functionality_intact,
+                sof_testable,
+                new_algorithm_works: healthy_verdict == Verdict::ChannelIntact
+                    && broken_verdict == Verdict::ChannelBroken,
+            });
+        }
+        // The NAND reference vectors of Section V-C.
+        let nand_pairs: Vec<(usize, Vec<sinw_atpg::sof::TwoPattern>)> = (0..4)
+            .map(|t| (t, sinw_atpg::sof::cell_sof_tests(CellKind::Nand2, t)))
+            .collect();
+        Sec5cResult { rows, nand_pairs }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Result types
+// ----------------------------------------------------------------------
+
+/// Fig. 2 verification result.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// (cell, number of failing truth-table rows).
+    pub rows: Vec<(CellKind, usize)>,
+}
+
+impl Fig2Result {
+    /// All cells functionally correct?
+    #[must_use]
+    pub fn all_correct(&self) -> bool {
+        self.rows.iter().all(|(_, f)| *f == 0)
+    }
+}
+
+impl fmt::Display for Fig2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — cell functionality (switch level)")?;
+        for (kind, fails) in &self.rows {
+            writeln!(
+                f,
+                "  {kind:6}  {}",
+                if *fails == 0 {
+                    "ok".to_string()
+                } else {
+                    format!("{fails} failing vectors")
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One summary row of Fig. 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// GOS site.
+    pub site: GateTerminal,
+    /// I_D(SAT) ratio faulty / healthy.
+    pub sat_ratio: f64,
+    /// Threshold shift in millivolts.
+    pub delta_vth_mv: f64,
+    /// Whether I_D < 0 at V_DS = 10 mV (the gate-leak signature).
+    pub negative_id_at_low_vds: bool,
+}
+
+/// Fig. 3 result: summary rows plus the raw curves.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Healthy saturation current (A).
+    pub i_sat_healthy: f64,
+    /// Per-site summaries.
+    pub rows: Vec<Fig3Row>,
+    /// `(site, curve)` pairs; `None` = defect-free. Curves are (V_CG, I_D).
+    pub curves: Vec<(Option<GateTerminal>, Vec<(f64, f64)>)>,
+}
+
+impl fmt::Display for Fig3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 3 — GOS I–V signatures (healthy I_sat = {:.3e} A)",
+            self.i_sat_healthy
+        )?;
+        writeln!(f, "  site  I_sat ratio   dVth (mV)   negative I_D @ low V_DS")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:4}  {:>10.3}   {:>8.0}    {}",
+                r.site.to_string(),
+                r.sat_ratio,
+                r.delta_vth_mv,
+                if r.negative_id_at_low_vds { "yes" } else { "no" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Fig. 4 result.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Healthy bottleneck density (cm⁻³).
+    pub n_healthy: f64,
+    /// Per-site densities (cm⁻³).
+    pub rows: Vec<(GateTerminal, f64)>,
+}
+
+impl Fig4Result {
+    /// Density drop ratio for a site.
+    #[must_use]
+    pub fn ratio(&self, site: GateTerminal) -> f64 {
+        self.rows
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map_or(f64::NAN, |(_, n)| self.n_healthy / n)
+    }
+}
+
+impl fmt::Display for Fig4Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 4 — channel electron density (cm^-3)")?;
+        writeln!(
+            f,
+            "  fault-free   {:.3e}   (paper: 1.558e19)",
+            self.n_healthy
+        )?;
+        for (site, n) in &self.rows {
+            let paper = match site {
+                GateTerminal::Pgs => "1.426e17",
+                GateTerminal::Cg => "1.763e18",
+                GateTerminal::Pgd => "1.316e18",
+            };
+            writeln!(f, "  GOS on {site:3}   {n:.3e}   (paper: {paper})")?;
+        }
+        Ok(())
+    }
+}
+
+/// One Vcut sample of a Fig. 5 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Floating-node voltage (V).
+    pub vcut: f64,
+    /// Leakage with PGS floated (A).
+    pub leak_pgs_open: f64,
+    /// Leakage with PGD floated (A).
+    pub leak_pgd_open: f64,
+    /// Delay with PGS floated (s).
+    pub delay_pgs_open: f64,
+    /// Delay with PGD floated (s).
+    pub delay_pgd_open: f64,
+}
+
+/// A full Fig. 5 sweep for one cell / transistor.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Cell under test.
+    pub kind: CellKind,
+    /// Target transistor index.
+    pub t_index: usize,
+    /// The sweep.
+    pub points: Vec<Fig5Point>,
+}
+
+impl Fig5Result {
+    /// Max/min leakage ratio over the sweep (decades of swing).
+    #[must_use]
+    pub fn leakage_swing(&self) -> f64 {
+        let finite: Vec<f64> = self
+            .points
+            .iter()
+            .flat_map(|p| [p.leak_pgs_open, p.leak_pgd_open])
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        let max = finite.iter().copied().fold(0.0f64, f64::max);
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        max / min
+    }
+
+    /// Max/min delay ratio over the sweep (where the output still
+    /// switches).
+    #[must_use]
+    pub fn delay_swing(&self) -> f64 {
+        let finite: Vec<f64> = self
+            .points
+            .iter()
+            .flat_map(|p| [p.delay_pgs_open, p.delay_pgd_open])
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        if finite.is_empty() {
+            return f64::NAN;
+        }
+        let max = finite.iter().copied().fold(0.0f64, f64::max);
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        max / min
+    }
+}
+
+impl fmt::Display for Fig5Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 5 — {} t{}: leakage/delay vs Vcut (PGS-open / PGD-open)",
+            self.kind,
+            self.t_index + 1
+        )?;
+        writeln!(f, "  Vcut    leak_PGS    leak_PGD    delay_PGS   delay_PGD")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  {:4.2}  {:>9.3e}  {:>9.3e}  {:>9.1} ps {:>9.1} ps",
+                p.vcut,
+                p.leak_pgs_open,
+                p.leak_pgd_open,
+                p.delay_pgs_open * 1e12,
+                p.delay_pgd_open * 1e12
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Cell.
+    pub kind: CellKind,
+    /// Size of the defect universe.
+    pub total_defects: usize,
+    /// Defects covered by classical models.
+    pub classical: usize,
+    /// Defects needing the paper's new models.
+    pub needs_new: usize,
+}
+
+/// Table I result (process mapping + census).
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Per-cell rows.
+    pub cells: Vec<Table1Row>,
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I — fabrication steps and defects")?;
+        for step in process::ProcessStep::ALL {
+            let defects: Vec<String> = step
+                .defect_classes()
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            writeln!(f, "  {step:32} -> {}", defects.join(", "))?;
+        }
+        writeln!(f, "Defect census and classification per cell:")?;
+        writeln!(f, "  cell    defects  classical  needs-new-models")?;
+        for r in &self.cells {
+            writeln!(
+                f,
+                "  {:6}  {:>7}  {:>9}  {:>16}",
+                r.kind.to_string(),
+                r.total_defects,
+                r.classical,
+                r.needs_new
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Section V-B result.
+#[derive(Debug, Clone)]
+pub struct Sec5bResult {
+    /// (cell, worst IDDQ swing, dictionary complete).
+    pub rows: Vec<(CellKind, f64, bool)>,
+}
+
+impl fmt::Display for Sec5bResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Section V-B — polarity-bridge IDDQ swings")?;
+        for (kind, swing, complete) in &self.rows {
+            writeln!(
+                f,
+                "  {:6}  swing {:>10.3e}x  dictionary {}",
+                kind.to_string(),
+                swing,
+                if *complete { "complete" } else { "INCOMPLETE" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Section V-C row.
+#[derive(Debug, Clone)]
+pub struct Sec5cRow {
+    /// Transistor (0 ⇒ t1 …).
+    pub transistor: usize,
+    /// Channel-break leakage ratio (masking: should be ≈ 1).
+    pub leakage_ratio: f64,
+    /// Channel-break delay ratio (masking: should be ≤ ~1.6).
+    pub delay_ratio: f64,
+    /// Whether the broken cell still computes correctly (masking).
+    pub functionality_intact: bool,
+    /// Classical SOF test exists?
+    pub sof_testable: bool,
+    /// The paper's algorithm distinguishes broken from intact?
+    pub new_algorithm_works: bool,
+}
+
+/// Section V-C result.
+#[derive(Debug, Clone)]
+pub struct Sec5cResult {
+    /// Per-transistor XOR2 rows.
+    pub rows: Vec<Sec5cRow>,
+    /// The NAND two-pattern tests (paper: (11→01), (11→10), (00→11)).
+    pub nand_pairs: Vec<(usize, Vec<sinw_atpg::sof::TwoPattern>)>,
+}
+
+impl fmt::Display for Sec5cResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Section V-C — channel break in the DP XOR2")?;
+        writeln!(
+            f,
+            "  t   dLeak     dDelay    functional  SOF-testable  new-algorithm"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  t{}  {:>7.2}x  {:>7.2}x  {:>10}  {:>12}  {:>13}",
+                r.transistor + 1,
+                r.leakage_ratio,
+                r.delay_ratio,
+                if r.functionality_intact { "yes" } else { "NO" },
+                if r.sof_testable { "yes" } else { "no" },
+                if r.new_algorithm_works { "works" } else { "FAILS" }
+            )?;
+        }
+        writeln!(f, "  NAND two-pattern tests (paper: 11->01, 11->10, 00->11):")?;
+        for (t, pairs) in &self.nand_pairs {
+            let rendered: Vec<String> = pairs.iter().map(ToString::to_string).collect();
+            writeln!(f, "    t{}: {}", t + 1, rendered.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Render the XOR2 dictionary in the paper's Table III layout.
+#[must_use]
+pub fn render_table3(dict: &CellDictionary) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table III — polarity-fault detection for the 2-input XOR"
+    );
+    let _ = writeln!(
+        s,
+        "  fault              t    vector  leakage  output   (paper: t1<-00 t2<-11 t3<-01 t4<-10)"
+    );
+    for fault in [TransistorFault::StuckAtNType, TransistorFault::StuckAtPType] {
+        for t in 0..4 {
+            let detecting = dict.detecting(t, fault);
+            if let Some(e) = detecting.first() {
+                let v: String = e
+                    .vector
+                    .iter()
+                    .map(|b| if *b { '1' } else { '0' })
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "  {:18} t{}   {:>4}    {:>7}  {:>6}",
+                    fault.to_string(),
+                    t + 1,
+                    v,
+                    if e.leakage_detect() { "yes" } else { "no" },
+                    if e.output_detect() { "yes" } else { "no" }
+                );
+            } else {
+                let _ = writeln!(s, "  {:18} t{}   (none)", fault.to_string(), t + 1);
+            }
+        }
+    }
+    s
+}

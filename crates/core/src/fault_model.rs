@@ -1,0 +1,295 @@
+//! Logic-level fault-model classification of the physical defect universe
+//! — the paper's central argument (Sections IV–V).
+//!
+//! Every physical defect from [`crate::process::enumerate_defects`] is
+//! mapped to the fault model that can detect it. The classification is not
+//! hard-coded: channel breaks are classified by actually searching for a
+//! classical two-pattern test ([`sinw_atpg::sof`]), which is what exposes
+//! the DP-cell coverage gap the paper's new models close.
+
+use crate::process::{DefectSite, PhysicalDefect};
+use sinw_atpg::sof::cell_break_is_sof_testable;
+use sinw_switch::cells::CellKind;
+use sinw_switch::fault::TransistorFault;
+use sinw_switch::netlist::GateRole;
+
+/// The fault model (or observation mechanism) that covers a defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultModel {
+    /// Classical single stuck-at on a signal.
+    StuckAt,
+    /// Classical stuck-open, detected with a two-pattern test.
+    StuckOpen,
+    /// Stuck-on, detected through IDDQ.
+    StuckOn,
+    /// Delay fault (parametric degradation).
+    Delay,
+    /// IDDQ-observable leakage fault.
+    Iddq,
+    /// The paper's new *stuck-at n-type* model (polarity bridged to Vdd).
+    StuckAtNType,
+    /// The paper's new *stuck-at p-type* model (polarity bridged to GND).
+    StuckAtPType,
+    /// Detectable only by the paper's polarity-injection channel-break
+    /// algorithm (Section V-C) — no classical model covers it.
+    NewChannelBreakAlgorithm,
+}
+
+impl FaultModel {
+    /// Whether the model predates the paper (classical CMOS/FinFET set).
+    #[must_use]
+    pub fn is_classical(&self) -> bool {
+        !matches!(
+            self,
+            FaultModel::StuckAtNType
+                | FaultModel::StuckAtPType
+                | FaultModel::NewChannelBreakAlgorithm
+        )
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultModel::StuckAt => write!(f, "stuck-at"),
+            FaultModel::StuckOpen => write!(f, "stuck-open (two-pattern)"),
+            FaultModel::StuckOn => write!(f, "stuck-on"),
+            FaultModel::Delay => write!(f, "delay"),
+            FaultModel::Iddq => write!(f, "IDDQ"),
+            FaultModel::StuckAtNType => write!(f, "stuck-at n-type (new)"),
+            FaultModel::StuckAtPType => write!(f, "stuck-at p-type (new)"),
+            FaultModel::NewChannelBreakAlgorithm => {
+                write!(f, "polarity-injection channel-break test (new)")
+            }
+        }
+    }
+}
+
+/// How a physical defect maps onto switch-level fault machinery plus the
+/// models that detect it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefectClassification {
+    /// The defect.
+    pub defect: PhysicalDefect,
+    /// Switch-level fault abstraction (when one exists).
+    pub switch_fault: Option<TransistorFault>,
+    /// The models that detect the defect, in preference order.
+    pub detected_by: Vec<FaultModel>,
+}
+
+impl DefectClassification {
+    /// Whether any classical model covers the defect.
+    #[must_use]
+    pub fn classically_covered(&self) -> bool {
+        self.detected_by.iter().any(FaultModel::is_classical)
+    }
+}
+
+/// Classify one defect of a cell.
+#[must_use]
+pub fn classify(kind: CellKind, defect: &PhysicalDefect) -> DefectClassification {
+    let (switch_fault, detected_by) = match &defect.site {
+        DefectSite::Channel(t) => {
+            let fault = TransistorFault::ChannelBreak;
+            if cell_break_is_sof_testable(kind, *t) {
+                // SP cells: the classical two-pattern SOF test works
+                // (Section V-C's NAND example).
+                (Some(fault), vec![FaultModel::StuckOpen])
+            } else {
+                // DP cells: the redundant pair masks the break — only the
+                // paper's new algorithm detects it.
+                (Some(fault), vec![FaultModel::NewChannelBreakAlgorithm])
+            }
+        }
+        DefectSite::Gate(_, role) => {
+            // GOS: parametric (Fig. 3): reduced drive and shifted V_Th at
+            // PGS/CG (delay-fault observable), negative I_D / leak paths
+            // (IDDQ); the drain-side site is delay-silent but still leaks.
+            let models = match role {
+                GateRole::Pgd => vec![FaultModel::Iddq],
+                _ => vec![FaultModel::Delay, FaultModel::Iddq],
+            };
+            (None, models)
+        }
+        DefectSite::AdjacentGates(..) => {
+            // CG–PG bridge: the two electrodes follow each other; for SP
+            // cells this pins the device on/off (stuck-at/stuck-on); for
+            // DP cells it correlates two input signals (bridge fault,
+            // IDDQ-observable fights).
+            (None, vec![FaultModel::StuckOn, FaultModel::Iddq])
+        }
+        DefectSite::PolarityToRail(t, to_vdd) => {
+            let fault = if *to_vdd {
+                TransistorFault::StuckAtNType
+            } else {
+                TransistorFault::StuckAtPType
+            };
+            if kind.is_dynamic_polarity() {
+                // Section V-B: DP cells need the new models.
+                let model = if *to_vdd {
+                    FaultModel::StuckAtNType
+                } else {
+                    FaultModel::StuckAtPType
+                };
+                (Some(fault), vec![model, FaultModel::Iddq])
+            } else {
+                // SP cells: the bridge re-polarises a rail-tied device;
+                // the paper notes it "represents similar behaviour to
+                // channel break which can be easily covered by SOF".
+                let relevant = sp_bridge_changes_polarity(kind, *t, *to_vdd);
+                if relevant {
+                    (Some(fault), vec![FaultModel::StuckOpen])
+                } else {
+                    // Bridging a pull-down PG to Vdd (its nominal bias) is
+                    // a no-op.
+                    (Some(fault), vec![])
+                }
+            }
+        }
+        DefectSite::Net(_) => (None, vec![FaultModel::StuckAt, FaultModel::Delay]),
+    };
+    DefectClassification {
+        defect: defect.clone(),
+        switch_fault,
+        detected_by,
+    }
+}
+
+/// Does bridging transistor `t`'s polarity gates to the given rail change
+/// its nominal SP polarity? (Pull-up devices are nominally at GND, so only
+/// a Vdd bridge matters, and vice versa.)
+fn sp_bridge_changes_polarity(kind: CellKind, t: usize, to_vdd: bool) -> bool {
+    let cell = sinw_switch::cells::Cell::build(kind);
+    if cell.pull_up.contains(&t) {
+        to_vdd
+    } else {
+        !to_vdd
+    }
+}
+
+/// Classification summary of a whole cell: the per-model tally the Table 1
+/// bench prints, and the count of defects *no classical model covers*.
+#[derive(Debug, Clone)]
+pub struct CellClassification {
+    /// The cell.
+    pub kind: CellKind,
+    /// All classified defects.
+    pub classified: Vec<DefectClassification>,
+}
+
+impl CellClassification {
+    /// Build by enumerating and classifying the full defect universe.
+    #[must_use]
+    pub fn build(kind: CellKind) -> Self {
+        let cell = sinw_switch::cells::Cell::build(kind);
+        let classified = crate::process::enumerate_defects(&cell)
+            .iter()
+            .map(|d| classify(kind, d))
+            .collect();
+        CellClassification {
+            kind,
+            classified,
+        }
+    }
+
+    /// Defects only the paper's new models/algorithm can detect.
+    #[must_use]
+    pub fn needs_new_models(&self) -> usize {
+        self.classified
+            .iter()
+            .filter(|c| !c.detected_by.is_empty() && !c.classically_covered())
+            .count()
+    }
+
+    /// Defects covered by classical models.
+    #[must_use]
+    pub fn classically_covered(&self) -> usize {
+        self.classified
+            .iter()
+            .filter(|c| c.classically_covered())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{enumerate_defects, DefectClass};
+    use sinw_switch::cells::Cell;
+
+    #[test]
+    fn sp_channel_breaks_are_classical() {
+        let cell = Cell::build(CellKind::Nand2);
+        for d in enumerate_defects(&cell) {
+            if d.class == DefectClass::NanowireBreak {
+                let c = classify(CellKind::Nand2, &d);
+                assert_eq!(c.detected_by, vec![FaultModel::StuckOpen]);
+            }
+        }
+    }
+
+    #[test]
+    fn dp_channel_breaks_need_the_new_algorithm() {
+        let cell = Cell::build(CellKind::Xor2);
+        for d in enumerate_defects(&cell) {
+            if d.class == DefectClass::NanowireBreak {
+                let c = classify(CellKind::Xor2, &d);
+                assert_eq!(
+                    c.detected_by,
+                    vec![FaultModel::NewChannelBreakAlgorithm],
+                    "{d:?}"
+                );
+                assert!(!c.classically_covered());
+            }
+        }
+    }
+
+    #[test]
+    fn dp_polarity_bridges_need_stuck_at_np() {
+        let class = CellClassification::build(CellKind::Xor2);
+        let np_count = class
+            .classified
+            .iter()
+            .filter(|c| {
+                c.detected_by.contains(&FaultModel::StuckAtNType)
+                    || c.detected_by.contains(&FaultModel::StuckAtPType)
+            })
+            .count();
+        assert_eq!(np_count, 8, "two rail bridges per transistor");
+    }
+
+    #[test]
+    fn classical_models_are_insufficient_exactly_for_dp_cells() {
+        // The headline claim of the paper, reproduced over the full
+        // library: every SP defect has a classical detector, while DP
+        // cells have a gap.
+        for kind in [CellKind::Inv, CellKind::Nand2, CellKind::Nor2] {
+            let c = CellClassification::build(kind);
+            assert_eq!(c.needs_new_models(), 0, "{kind} should be fully classical");
+        }
+        for kind in [CellKind::Xor2, CellKind::Xor3, CellKind::Maj3] {
+            let c = CellClassification::build(kind);
+            // The four channel breaks have *no* classical detector at all…
+            assert!(
+                c.needs_new_models() >= 4,
+                "{kind}: all breaks need the new algorithm, got {}",
+                c.needs_new_models()
+            );
+            // …and every polarity bridge is *modeled* by stuck-at n/p-type
+            // (IDDQ can observe it, but only the new model lets ATPG
+            // target it).
+            for cl in &c.classified {
+                if let crate::process::DefectSite::PolarityToRail(_, _) = cl.defect.site {
+                    assert!(
+                        matches!(
+                            cl.detected_by.first(),
+                            Some(FaultModel::StuckAtNType | FaultModel::StuckAtPType)
+                        ),
+                        "{kind}: {:?}",
+                        cl.defect
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # sinw-device — synthetic TCAD for TIG-SiNWFETs
+//!
+//! Device-physics substrate of the DATE'15 reproduction *"Fault Modeling in
+//! Controllable Polarity Silicon Nanowire Circuits"*. It stands in for the
+//! Sentaurus TCAD step of the paper's two-step simulation flow
+//! (Section III-D): a 1-D screened-Poisson electrostatic solver plus a
+//! ballistic Landauer/WKB transport kernel for a gate-all-around
+//! Schottky-barrier nanowire FET with three independent gates.
+//!
+//! The controllable-polarity behaviour — conduction iff `CG = PGS = PGD` —
+//! is *not* hard-coded anywhere; it emerges from the junction physics (the
+//! polarity gates thin the Schottky wedges for one carrier type at a time).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sinw_device::model::{Bias, TigFet};
+//! use sinw_device::defects::DeviceDefect;
+//! use sinw_device::geometry::GateTerminal;
+//!
+//! // A healthy device conducts in both polarity configurations...
+//! let fet = TigFet::ideal();
+//! assert!(fet.drain_current(Bias::uniform_gates(1.2, 1.2)) > 1e-7);
+//!
+//! // ...and a gate-oxide short on the source-side polarity gate slashes
+//! // the saturation current (Fig. 3a of the paper).
+//! let sick = TigFet::ideal().with_defect(DeviceDefect::gos(GateTerminal::Pgs));
+//! let ratio = sick.drain_current(Bias::uniform_gates(1.2, 1.2))
+//!     / fet.drain_current(Bias::uniform_gates(1.2, 1.2));
+//! assert!(ratio < 0.8);
+//! ```
+//!
+//! The [`table`] module exports the 4-D lookup-table compact model consumed
+//! by the `sinw-analog` circuit simulator, mirroring the paper's Verilog-A
+//! table model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod constants;
+pub mod defects;
+pub mod geometry;
+pub mod model;
+pub mod poisson;
+pub mod table;
+pub mod transport;
+
+pub use defects::DeviceDefect;
+pub use geometry::{DeviceGeometry, GateTerminal};
+pub use model::{Bias, TigFet};
+pub use table::TigTable;

@@ -1,0 +1,105 @@
+//! Property-based tests of the device substrate: solver invariants,
+//! transmission bounds and table-model consistency.
+
+use proptest::prelude::*;
+use sinw_device::geometry::{DeviceGeometry, GateTerminal};
+use sinw_device::model::{Bias, TigFet};
+use sinw_device::poisson::{solve, CouplingProfile};
+use sinw_device::table::TigTable;
+use sinw_device::transport::wkb_transmission;
+use std::sync::OnceLock;
+
+fn shared_table() -> &'static TigTable {
+    static TABLE: OnceLock<TigTable> = OnceLock::new();
+    TABLE.get_or_init(|| TigTable::build_coarse(&TigFet::ideal()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The screened-Poisson solution never exceeds the hull of its
+    /// boundary conditions and gate targets (discrete maximum principle).
+    #[test]
+    fn poisson_maximum_principle(
+        t_pgs in -1.0f64..1.5,
+        t_cg in -1.0f64..1.5,
+        t_pgd in -1.0f64..1.5,
+        bc_s in -1.0f64..1.0,
+        bc_d in -1.0f64..1.0,
+    ) {
+        let g = DeviceGeometry::table_ii();
+        let coupling = CouplingProfile::from_geometry(&g, |gate| match gate {
+            GateTerminal::Pgs => t_pgs,
+            GateTerminal::Cg => t_cg,
+            GateTerminal::Pgd => t_pgd,
+        });
+        let profile = solve(&g, &coupling, bc_s, bc_d);
+        let lo = t_pgs.min(t_cg).min(t_pgd).min(bc_s).min(bc_d) - 1e-9;
+        let hi = t_pgs.max(t_cg).max(t_pgd).max(bc_s).max(bc_d) + 1e-9;
+        for (i, &e) in profile.e_c.iter().enumerate() {
+            prop_assert!(e >= lo && e <= hi, "point {i}: {e} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// WKB transmission is a probability and decreases when the whole
+    /// barrier is raised.
+    #[test]
+    fn transmission_is_bounded_and_monotone(
+        level in -0.3f64..0.8,
+        raise in 0.01f64..0.5,
+        energy in -0.5f64..0.5,
+    ) {
+        let g = DeviceGeometry::table_ii();
+        let low = solve(&g, &CouplingProfile::from_geometry(&g, |_| level), 0.41, 0.41);
+        let high = solve(
+            &g,
+            &CouplingProfile::from_geometry(&g, |_| level + raise),
+            0.41 + raise,
+            0.41 + raise,
+        );
+        let t_low = wkb_transmission(energy, &low, 0.19);
+        let t_high = wkb_transmission(energy, &high, 0.19);
+        prop_assert!((0.0..=1.0).contains(&t_low));
+        prop_assert!((0.0..=1.0).contains(&t_high));
+        prop_assert!(t_high <= t_low + 1e-12, "raising the barrier helped: {t_low} -> {t_high}");
+    }
+
+    /// Table-model passivity: a healthy device never pushes power into
+    /// the circuit (I_D and V_DS share their sign).
+    #[test]
+    fn table_model_is_passive(
+        v_cg in -1.2f64..1.2,
+        v_pgs in -1.2f64..1.2,
+        v_pgd in -1.2f64..1.2,
+        v_ds in -1.2f64..1.2,
+    ) {
+        let i = shared_table().current(Bias { v_cg, v_pgs, v_pgd, v_ds });
+        prop_assert!(i.is_finite());
+        prop_assert!(
+            i * v_ds >= -1e-18,
+            "active region detected: I = {i} at V_DS = {v_ds}"
+        );
+    }
+
+    /// Source/drain swap consistency of the table: evaluating the mirror
+    /// configuration flips only the sign.
+    #[test]
+    fn table_swap_antisymmetry(
+        v_cg in -0.6f64..0.6,
+        v_pg in -0.6f64..0.6,
+        v_ds in 0.05f64..1.2,
+    ) {
+        let t = shared_table();
+        let fwd = t.current(Bias { v_cg, v_pgs: v_pg, v_pgd: v_pg, v_ds });
+        let rev = t.current(Bias {
+            v_cg: v_cg - v_ds,
+            v_pgs: v_pg - v_ds,
+            v_pgd: v_pg - v_ds,
+            v_ds: -v_ds,
+        });
+        prop_assert!(
+            (fwd + rev).abs() <= 1e-12 + 1e-9 * fwd.abs(),
+            "fwd = {fwd}, rev = {rev}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # sinw-switch — switch-level simulation of CP-SiNW logic
+//!
+//! Logic-level substrate of the DATE'15 reproduction *"Fault Modeling in
+//! Controllable Polarity Silicon Nanowire Circuits"*: a three-valued,
+//! strength-based switch-level simulator for transistor networks built
+//! from three-independent-gate (TIG) SiNWFETs, together with the Fig. 2
+//! cell library, fault injection, and gate-level circuits.
+//!
+//! The controllable-polarity conduction rule (Section III-C of the paper)
+//! is the heart of the crate: a device conducts iff `CG = PGS = PGD`
+//! (n-mode at '1', p-mode at '0') — see [`netlist::conduction_rule`].
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sinw_switch::cells::{Cell, CellKind};
+//! use sinw_switch::fault::{FaultSet, TransistorFault};
+//! use sinw_switch::sim::SwitchSim;
+//! use sinw_switch::value::Logic;
+//!
+//! // The DP XOR2 of Fig. 2b computes A ⊕ B...
+//! let cell = Cell::build(CellKind::Xor2);
+//! assert!(cell.verify_truth_table().is_empty());
+//!
+//! // ...and a polarity fault (stuck-at n-type) on its pull-up t1 creates
+//! // a rail short at input 00 — the Table III leakage signature.
+//! let faults = FaultSet::single(cell.transistors[0], TransistorFault::StuckAtNType);
+//! let mut sim = SwitchSim::with_faults(&cell.netlist, faults);
+//! let r = sim.apply(&cell.input_assignment(&[false, false]));
+//! assert!(r.rail_short);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cells;
+pub mod fault;
+pub mod gate;
+pub mod netlist;
+pub mod sim;
+pub mod value;
+
+pub use cells::{Cell, CellKind};
+pub use fault::{FaultSet, NetFault, TransistorFault};
+pub use gate::{Circuit, FlatCircuit, GateId, SignalId};
+pub use netlist::{GateRole, NetId, NetKind, Netlist, TransistorId};
+pub use sim::{SimResult, SwitchSim};
+pub use value::{Logic, Signal, Strength};

@@ -1,0 +1,133 @@
+//! Property-based tests of the switch-level substrate.
+
+use proptest::prelude::*;
+use sinw_switch::cells::{Cell, CellKind};
+use sinw_switch::gate::eval_cell;
+use sinw_switch::netlist::{conduction_rule, Conduction};
+use sinw_switch::sim::SwitchSim;
+use sinw_switch::value::Logic;
+
+fn logic_strategy() -> impl Strategy<Value = Logic> {
+    prop_oneof![Just(Logic::Zero), Just(Logic::One), Just(Logic::X)]
+}
+
+fn kind_strategy() -> impl Strategy<Value = CellKind> {
+    prop_oneof![
+        Just(CellKind::Inv),
+        Just(CellKind::Nand2),
+        Just(CellKind::Nor2),
+        Just(CellKind::Xor2),
+        Just(CellKind::Xor3),
+        Just(CellKind::Maj3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CP conduction rule with unknowns is exactly the abstraction of
+    /// the boolean rule: Unknown iff some completion conducts and some
+    /// does not.
+    #[test]
+    fn conduction_rule_abstracts_completions(
+        cg in logic_strategy(),
+        pgs in logic_strategy(),
+        pgd in logic_strategy(),
+    ) {
+        let got = conduction_rule(cg, pgs, pgd);
+        let choices = |v: Logic| -> Vec<bool> {
+            match v {
+                Logic::Zero => vec![false],
+                Logic::One => vec![true],
+                Logic::X => vec![false, true],
+            }
+        };
+        let mut any_on = false;
+        let mut any_off = false;
+        for c in choices(cg) {
+            for s in choices(pgs) {
+                for d in choices(pgd) {
+                    if c == s && s == d {
+                        any_on = true;
+                    } else {
+                        any_off = true;
+                    }
+                }
+            }
+        }
+        let expect = match (any_on, any_off) {
+            (true, false) => Conduction::On,
+            (false, true) => Conduction::Off,
+            (true, true) => Conduction::Unknown,
+            (false, false) => unreachable!("non-empty completion set"),
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `eval_cell` is the exact three-valued abstraction of the boolean
+    /// cell function.
+    #[test]
+    fn eval_cell_abstracts_completions(
+        kind in kind_strategy(),
+        raw in proptest::collection::vec(logic_strategy(), 3),
+    ) {
+        let n = kind.input_count();
+        let inputs = &raw[..n];
+        let got = eval_cell(kind, inputs);
+        // Enumerate completions.
+        let x_pos: Vec<usize> = (0..n).filter(|i| inputs[*i] == Logic::X).collect();
+        let mut values = std::collections::BTreeSet::new();
+        for fill in 0..(1u32 << x_pos.len()) {
+            let mut bools = vec![false; n];
+            for i in 0..n {
+                bools[i] = match inputs[i] {
+                    Logic::One => true,
+                    Logic::Zero => false,
+                    Logic::X => {
+                        let k = x_pos.iter().position(|p| *p == i).expect("tracked");
+                        (fill >> k) & 1 == 1
+                    }
+                };
+            }
+            values.insert(kind.function(&bools));
+        }
+        let expect = if values.len() == 1 {
+            Logic::from_bool(values.into_iter().next().expect("one"))
+        } else {
+            Logic::X
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Re-applying the same vector is idempotent (the charge state has
+    /// settled after one evaluation).
+    #[test]
+    fn switch_sim_is_idempotent(
+        kind in kind_strategy(),
+        raw in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let cell = Cell::build(kind);
+        let vector = &raw[..kind.input_count()];
+        let mut sim = SwitchSim::new(&cell.netlist);
+        let a = sim.apply(&cell.input_assignment(vector));
+        let b = sim.apply(&cell.input_assignment(vector));
+        prop_assert_eq!(a.values, b.values);
+        prop_assert_eq!(a.rail_short, b.rail_short);
+    }
+
+    /// Every cell computes its reference function on random vectors (a
+    /// sampled version of the exhaustive unit test, through the full
+    /// simulator pipeline).
+    #[test]
+    fn cells_compute_their_function(
+        kind in kind_strategy(),
+        raw in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let cell = Cell::build(kind);
+        let vector = &raw[..kind.input_count()];
+        prop_assert_eq!(
+            cell.eval(vector),
+            Logic::from_bool(kind.function(vector))
+        );
+    }
+}

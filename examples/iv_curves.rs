@@ -1,0 +1,49 @@
+//! Regenerate the device-level figures: the Fig. 3 I–V curves with
+//! gate-oxide shorts and the Fig. 4 electron densities, as CSV on stdout.
+//!
+//! Run with `cargo run --release --example iv_curves`.
+
+use sinw_core::experiments::Experiments;
+use sinw_device::geometry::{DeviceGeometry, GateTerminal, Region};
+
+fn main() {
+    // Fig. 1: the device structure the model simulates.
+    let g = DeviceGeometry::table_ii();
+    println!("# TIG-SiNWFET region map (Fig. 1, Table II):");
+    let map = g.region_map();
+    let mut last: Option<Region> = None;
+    for (i, r) in map.iter().enumerate() {
+        if last != Some(*r) {
+            let label = match r {
+                Region::Gated(t) => t.to_string(),
+                Region::Spacer => "spacer".to_string(),
+            };
+            println!("#   {:5.1} nm  {label}", g.x_of(i) * 1e9);
+            last = Some(*r);
+        }
+    }
+    println!("# natural length = {:.2} nm", g.natural_length() * 1e9);
+
+    let ctx = Experiments::standard();
+
+    let fig3 = ctx.fig3();
+    println!("\n# Fig. 3: I_D(V_CG) at V_DS = 1.2 V");
+    println!("vcg,healthy,gos_pgs,gos_cg,gos_pgd");
+    let n = fig3.curves[0].1.len();
+    for i in 0..n {
+        let vcg = fig3.curves[0].1[i].0;
+        let row: Vec<String> = fig3
+            .curves
+            .iter()
+            .map(|(_, c)| format!("{:.4e}", c[i].1))
+            .collect();
+        println!("{vcg:.3},{}", row.join(","));
+    }
+    println!("\n{fig3}");
+
+    let fig4 = ctx.fig4();
+    println!("{fig4}");
+    for site in GateTerminal::ALL {
+        println!("# density drop at {site}: {:.1}x", fig4.ratio(site));
+    }
+}

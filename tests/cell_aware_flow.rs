@@ -1,0 +1,160 @@
+//! Whole-flow integration: classical ATPG and the cell-aware campaign on
+//! multi-gate TIG circuits.
+
+use sinw_atpg::collapse::collapse;
+use sinw_atpg::fault_list::enumerate_stuck_at;
+use sinw_atpg::faultsim::simulate_faults;
+use sinw_atpg::podem::{generate_test, PodemConfig, PodemResult};
+use sinw_core::cell_aware::{generate_campaign, LiftedTest};
+use sinw_core::dictionary::{build_dictionary, CellDictionary};
+use sinw_device::{TigFet, TigTable};
+use sinw_switch::cells::CellKind;
+use sinw_switch::gate::Circuit;
+use std::sync::{Arc, OnceLock};
+
+fn dictionaries() -> &'static [(CellKind, CellDictionary)] {
+    static DICTS: OnceLock<Vec<(CellKind, CellDictionary)>> = OnceLock::new();
+    DICTS.get_or_init(|| {
+        let table = Arc::new(TigTable::build_coarse(&TigFet::ideal()));
+        [CellKind::Xor2, CellKind::Xor3, CellKind::Maj3]
+            .into_iter()
+            .map(|k| (k, build_dictionary(k, &table)))
+            .collect()
+    })
+}
+
+#[test]
+fn classical_atpg_covers_the_ripple_adder() {
+    let c = Circuit::ripple_adder(3);
+    let faults = enumerate_stuck_at(&c);
+    let collapsed = collapse(&c, &faults);
+    let config = PodemConfig::default();
+
+    let mut patterns = Vec::new();
+    let mut untestable = 0usize;
+    for fault in &collapsed.representatives {
+        match generate_test(&c, *fault, &config) {
+            PodemResult::Test(p) => patterns.push(p),
+            PodemResult::Untestable => untestable += 1,
+            PodemResult::Aborted => panic!("aborted on {}", fault.describe(&c)),
+        }
+    }
+    assert_eq!(untestable, 0, "the adder has no redundant stuck-at faults");
+
+    // The generated set must detect every original (uncollapsed) fault.
+    let report = simulate_faults(&c, &faults, &patterns, true);
+    assert_eq!(
+        report.coverage(),
+        1.0,
+        "undetected: {:?}",
+        report
+            .undetected
+            .iter()
+            .map(|i| faults[*i].describe(&c))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn cell_aware_campaign_on_mixed_circuit() {
+    // A mixed SP/DP circuit: parity tree into a NAND stage.
+    let mut c = Circuit::new();
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let d = c.add_input("d");
+    let x1 = c.add_gate(CellKind::Xor2, "x1", &[a, b]);
+    let x2 = c.add_gate(CellKind::Xor2, "x2", &[x1, d]);
+    let n1 = c.add_gate(CellKind::Nand2, "n1", &[x1, x2]);
+    c.mark_output(x2);
+    c.mark_output(n1);
+
+    let config = PodemConfig::default();
+    let dict_of = |kind: CellKind| -> Option<CellDictionary> {
+        dictionaries()
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, d)| d.clone())
+    };
+    let campaign = generate_campaign(&c, &dict_of, &config);
+
+    let mut output_tests = 0usize;
+    let mut iddq_tests = 0usize;
+    let mut two_pattern = 0usize;
+    let mut needs_access = 0usize;
+    let mut uncovered = 0usize;
+    for (target, lifted) in &campaign {
+        match lifted {
+            Some(LiftedTest::OutputObservable { .. }) => output_tests += 1,
+            Some(LiftedTest::IddqObservable { .. }) => iddq_tests += 1,
+            Some(LiftedTest::TwoPattern { .. }) => two_pattern += 1,
+            Some(LiftedTest::NeedsPolarityAccess) => needs_access += 1,
+            None => {
+                // Only NAND polarity faults lack a dictionary here.
+                assert_eq!(
+                    c.gates()[target.gate.0].kind,
+                    CellKind::Nand2,
+                    "unexpected uncovered target {target:?}"
+                );
+                uncovered += 1;
+            }
+        }
+    }
+    assert!(output_tests > 0, "some polarity faults lift to PO tests");
+    assert!(iddq_tests > 0, "pull-up faults fall back to IDDQ vectors");
+    assert!(two_pattern >= 4, "NAND breaks get two-pattern tests");
+    assert_eq!(needs_access, 8, "XOR2 breaks need the new algorithm");
+    let _ = uncovered;
+}
+
+#[test]
+fn sof_two_pattern_tests_work_on_the_flat_netlist() {
+    use sinw_atpg::sof::{generate_sof_test, SofResult};
+    use sinw_switch::fault::{FaultSet, TransistorFault};
+    use sinw_switch::gate::GateId;
+    use sinw_switch::sim::SwitchSim;
+    use sinw_switch::value::Logic;
+
+    let c = Circuit::c17();
+    let config = PodemConfig::default();
+    let flat = c.flatten();
+    let mut validated = 0usize;
+
+    for gi in 0..c.gates().len() {
+        for t in 0..4 {
+            let SofResult::Test(test) = generate_sof_test(&c, GateId(gi), t, &config) else {
+                continue;
+            };
+            // Replay the two-pattern sequence against the flat netlist
+            // with the break injected; a PO must read the wrong value.
+            let tid = flat.gate_transistors[gi][t];
+            let mut sick = SwitchSim::with_faults(
+                &flat.netlist,
+                FaultSet::single(tid, TransistorFault::ChannelBreak),
+            );
+            let assign = |p: &[bool]| -> Vec<(sinw_switch::netlist::NetId, Logic)> {
+                c.primary_inputs()
+                    .iter()
+                    .zip(p)
+                    .map(|(s, b)| (flat.signal_net[s.0], Logic::from_bool(*b)))
+                    .collect()
+            };
+            sick.apply(&assign(&test.init));
+            let r = sick.apply(&assign(&test.eval));
+            let good = c.eval_outputs(&test.eval);
+            let wrong = c
+                .primary_outputs()
+                .iter()
+                .enumerate()
+                .any(|(k, o)| r.value(flat.signal_net[o.0]) != good[k]);
+            assert!(
+                wrong,
+                "gate {gi} t{}: sequence {:?} -> {:?} shows nothing",
+                t + 1,
+                test.init,
+                test.eval
+            );
+            validated += 1;
+        }
+    }
+    assert!(validated >= 15, "validated only {validated} SOF tests");
+}

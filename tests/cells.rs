@@ -1,0 +1,102 @@
+//! Cross-representation integration tests: every Fig. 2 cell must compute
+//! the same function at the switch level, the analog level and the
+//! gate-level functional model, and flattened circuits must agree with
+//! their gate-level view.
+
+use sinw_analog::cells::{AnalogCell, VDD};
+use sinw_analog::circuit::Waveform;
+use sinw_analog::solver::{dc, SolverOpts};
+use sinw_device::{TigFet, TigTable};
+use sinw_switch::cells::{Cell, CellKind};
+use sinw_switch::gate::Circuit;
+use sinw_switch::sim::SwitchSim;
+use sinw_switch::value::Logic;
+use std::sync::{Arc, OnceLock};
+
+fn shared_table() -> Arc<TigTable> {
+    static TABLE: OnceLock<Arc<TigTable>> = OnceLock::new();
+    TABLE
+        .get_or_init(|| Arc::new(TigTable::build_coarse(&TigFet::ideal())))
+        .clone()
+}
+
+#[test]
+fn all_cells_agree_across_switch_and_analog() {
+    for kind in CellKind::ALL {
+        let cell = Cell::build(kind);
+        let n = kind.input_count();
+        for bits in 0..(1u32 << n) {
+            let vector: Vec<bool> = (0..n).map(|k| (bits >> k) & 1 == 1).collect();
+            let expect = kind.function(&vector);
+
+            // Switch level.
+            assert_eq!(
+                cell.eval(&vector),
+                Logic::from_bool(expect),
+                "{kind} switch level at {vector:?}"
+            );
+
+            // Analog level.
+            let waves: Vec<Waveform> = vector
+                .iter()
+                .map(|b| Waveform::Dc(if *b { VDD } else { 0.0 }))
+                .collect();
+            let acell = AnalogCell::build(kind, shared_table(), &waves);
+            let sol = dc(&acell.circuit, &SolverOpts::default())
+                .unwrap_or_else(|e| panic!("{kind} analog DC at {vector:?}: {e}"));
+            let v = sol.voltage(acell.out);
+            assert_eq!(
+                v > VDD / 2.0,
+                expect,
+                "{kind} analog level at {vector:?}: v_out = {v:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flattened_ripple_adder_matches_gate_level() {
+    let c = Circuit::ripple_adder(2);
+    let flat = c.flatten();
+    let n_pi = c.primary_inputs().len();
+    for bits in 0..(1u32 << n_pi) {
+        let vector: Vec<bool> = (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect();
+        let gate_outs = c.eval_outputs(&vector);
+        let mut sim = SwitchSim::new(&flat.netlist);
+        let assignment: Vec<_> = c
+            .primary_inputs()
+            .iter()
+            .zip(&vector)
+            .map(|(s, b)| (flat.signal_net[s.0], Logic::from_bool(*b)))
+            .collect();
+        let r = sim.apply(&assignment);
+        assert!(!r.rail_short, "healthy adder shorting at {vector:?}");
+        for (k, o) in c.primary_outputs().iter().enumerate() {
+            assert_eq!(
+                r.value(flat.signal_net[o.0]),
+                gate_outs[k],
+                "output {k} at {vector:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn analog_cells_have_no_static_shorts() {
+    // Quiescent current of every healthy cell at every vector stays far
+    // below the functional-short scale.
+    for kind in CellKind::ALL {
+        let n = kind.input_count();
+        for bits in 0..(1u32 << n) {
+            let vector: Vec<bool> = (0..n).map(|k| (bits >> k) & 1 == 1).collect();
+            let waves: Vec<Waveform> = vector
+                .iter()
+                .map(|b| Waveform::Dc(if *b { VDD } else { 0.0 }))
+                .collect();
+            let cell = AnalogCell::build(kind, shared_table(), &waves);
+            let leak = sinw_analog::measure::dc_leakage(&cell, &SolverOpts::default())
+                .unwrap_or_else(|e| panic!("{kind} at {vector:?}: {e}"));
+            assert!(leak < 1e-6, "{kind} at {vector:?}: leak = {leak:.3e}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end assertions of the paper's quantitative claims, via the
+//! experiment drivers (the same code paths the benches print).
+
+use sinw_core::experiments::Experiments;
+use sinw_device::geometry::GateTerminal;
+use sinw_switch::cells::CellKind;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Experiments {
+    static CTX: OnceLock<Experiments> = OnceLock::new();
+    CTX.get_or_init(Experiments::fast)
+}
+
+#[test]
+fn fig2_all_cells_functional() {
+    assert!(ctx().fig2().all_correct());
+}
+
+#[test]
+fn fig3_gos_shape() {
+    let fig3 = ctx().fig3();
+    let row = |site: GateTerminal| {
+        fig3.rows
+            .iter()
+            .find(|r| r.site == site)
+            .expect("site present")
+    };
+    let pgs = row(GateTerminal::Pgs);
+    assert!(pgs.sat_ratio > 0.03 && pgs.sat_ratio < 0.6, "{pgs:?}");
+    assert!(pgs.delta_vth_mv > 20.0 && pgs.delta_vth_mv < 300.0, "{pgs:?}");
+    assert!(pgs.negative_id_at_low_vds);
+    let cg = row(GateTerminal::Cg);
+    assert!(cg.sat_ratio > pgs.sat_ratio && cg.sat_ratio < 0.97, "{cg:?}");
+    assert!(cg.delta_vth_mv > 40.0 && cg.delta_vth_mv < 350.0, "{cg:?}");
+    assert!(cg.negative_id_at_low_vds);
+    let pgd = row(GateTerminal::Pgd);
+    assert!(pgd.sat_ratio > 0.95 && pgd.sat_ratio < 1.2, "{pgd:?}");
+    assert!(pgd.delta_vth_mv.abs() < 40.0, "{pgd:?}");
+}
+
+#[test]
+fn fig4_density_shape() {
+    let fig4 = ctx().fig4();
+    let pgs = fig4.ratio(GateTerminal::Pgs);
+    let cg = fig4.ratio(GateTerminal::Cg);
+    let pgd = fig4.ratio(GateTerminal::Pgd);
+    // Paper: 109.2x / 8.8x / 11.8x with ordering PGS >> PGD > CG.
+    assert!(pgs > 50.0 && pgs < 250.0, "PGS ratio {pgs}");
+    assert!(cg > 5.0 && cg < 15.0, "CG ratio {cg}");
+    assert!(pgd > 8.0 && pgd < 20.0, "PGD ratio {pgd}");
+    assert!(pgs > pgd && pgd > cg, "ordering {pgs} {pgd} {cg}");
+    assert!(
+        fig4.n_healthy > 5e18 && fig4.n_healthy < 5e19,
+        "healthy {:.3e}",
+        fig4.n_healthy
+    );
+}
+
+#[test]
+fn fig5_inv_t1_has_decades_of_leakage_swing() {
+    let sweep = ctx().fig5(CellKind::Inv, 0);
+    assert!(
+        sweep.leakage_swing() > 1e2,
+        "leakage swing {:.3e}",
+        sweep.leakage_swing()
+    );
+    // The nominal bias point (Vcut = 0 for a pull-up PG) must be fast and
+    // quiet; the wrong end of the sweep must degrade delay or kill the
+    // transition entirely.
+    let first = sweep.points.first().expect("points");
+    assert!(first.delay_pgs_open.is_finite());
+    let last = sweep.points.last().expect("points");
+    let degraded = !last.delay_pgs_open.is_finite()
+        || last.delay_pgs_open > 1.5 * first.delay_pgs_open
+        || last.leak_pgs_open > 50.0 * first.leak_pgs_open;
+    assert!(degraded, "first {first:?} last {last:?}");
+}
+
+#[test]
+fn table3_matches_the_paper() {
+    let dict = ctx().table3();
+    assert!(dict.complete(), "every polarity fault detectable");
+    // Stuck-at-n detecting vectors per Table III.
+    use sinw_switch::fault::TransistorFault::StuckAtNType;
+    let expected = [
+        vec![false, false],
+        vec![true, true],
+        vec![false, true],
+        vec![true, false],
+    ];
+    for (t, want) in expected.iter().enumerate() {
+        assert!(
+            dict.detecting(t, StuckAtNType)
+                .iter()
+                .any(|e| &e.vector == want),
+            "t{} missing vector {want:?}",
+            t + 1
+        );
+    }
+}
+
+#[test]
+fn sec5b_leakage_swing_above_1e5() {
+    let r = ctx().sec5b();
+    let xor = r
+        .rows
+        .iter()
+        .find(|(k, _, _)| *k == CellKind::Xor2)
+        .expect("xor2 analysed");
+    assert!(xor.1 > 1e5, "XOR2 swing {:.3e} (paper: >1e6)", xor.1);
+    assert!(xor.2, "XOR2 dictionary complete");
+}
+
+#[test]
+fn sec5c_masking_and_new_algorithm() {
+    let r = ctx().sec5c();
+    for row in &r.rows {
+        // Masking: the break hides from functional, IDDQ and delay tests
+        // (paper: dLeak <= 100 %, dDelay <= 58 %).
+        assert!(
+            row.functionality_intact,
+            "t{}: break must not change the function",
+            row.transistor + 1
+        );
+        assert!(
+            row.leakage_ratio < 20.0,
+            "t{}: leak ratio {:.2} not masked",
+            row.transistor + 1,
+            row.leakage_ratio
+        );
+        if row.delay_ratio.is_finite() {
+            assert!(
+                row.delay_ratio < 2.5,
+                "t{}: delay ratio {:.2}",
+                row.transistor + 1,
+                row.delay_ratio
+            );
+        }
+        // Baseline fails, the paper's algorithm succeeds.
+        assert!(!row.sof_testable, "t{}", row.transistor + 1);
+        assert!(row.new_algorithm_works, "t{}", row.transistor + 1);
+    }
+    // The paper's NAND reference pairs.
+    let t = |s: &str| -> Vec<bool> { s.chars().map(|c| c == '1').collect() };
+    let pair = |i: &str, e: &str| sinw_atpg::sof::TwoPattern {
+        init: t(i),
+        eval: t(e),
+    };
+    assert!(r.nand_pairs[0].1.contains(&pair("11", "01")), "v1");
+    assert!(r.nand_pairs[1].1.contains(&pair("11", "10")), "v2");
+    assert!(r.nand_pairs[2].1.contains(&pair("00", "11")), "v3");
+    assert!(r.nand_pairs[3].1.contains(&pair("00", "11")), "v3 on t4");
+}
+
+#[test]
+fn table1_classification_summary() {
+    let t1 = ctx().table1();
+    for row in &t1.cells {
+        if row.kind.is_dynamic_polarity() {
+            assert!(row.needs_new > 0, "{}: DP cells have a coverage gap", row.kind);
+        } else {
+            assert_eq!(row.needs_new, 0, "{}: SP cells are classical", row.kind);
+        }
+    }
+}
