@@ -4,7 +4,7 @@
 //! TIG-FETs are four-terminal table-model devices (the paper's Verilog-A
 //! equivalent, Section III-D): their channel current comes from a shared
 //! [`TigTable`] and their terminal capacitances from the table's
-//! [`Parasitics`].
+//! [`Parasitics`](sinw_device::table::Parasitics).
 
 use sinw_device::table::TigTable;
 use std::sync::Arc;
@@ -199,14 +199,7 @@ impl AnalogCircuit {
     }
 
     /// Add a TIG-FET with its terminal parasitics; returns its id.
-    pub fn add_fet(
-        &mut self,
-        d: NodeId,
-        cg: NodeId,
-        pgs: NodeId,
-        pgd: NodeId,
-        s: NodeId,
-    ) -> FetId {
+    pub fn add_fet(&mut self, d: NodeId, cg: NodeId, pgs: NodeId, pgd: NodeId, s: NodeId) -> FetId {
         let p = self.table.parasitics;
         // Gate-stack capacitances split to the nearer channel terminal.
         self.add_capacitor_lenient(cg, s, p.c_cg / 2.0);

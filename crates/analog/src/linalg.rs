@@ -161,7 +161,9 @@ mod tests {
         let mut m = Matrix::zeros(n);
         let mut seed = 12345u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for r in 0..n {

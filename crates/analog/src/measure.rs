@@ -8,12 +8,7 @@ use crate::solver::{dc, transient, DcSolution, SolveError, SolverOpts, Transient
 /// First time a waveform crosses `level` in the given direction after
 /// `t_from`.
 #[must_use]
-pub fn crossing_time(
-    wave: &[(f64, f64)],
-    level: f64,
-    rising: bool,
-    t_from: f64,
-) -> Option<f64> {
+pub fn crossing_time(wave: &[(f64, f64)], level: f64, rising: bool, t_from: f64) -> Option<f64> {
     for w in wave.windows(2) {
         let (t0, v0) = w[0];
         let (t1, v1) = w[1];
@@ -40,8 +35,8 @@ pub fn propagation_delay(tr: &Transient, input: NodeId, output: NodeId) -> Optio
     let vin = tr.node_waveform(input);
     let vout = tr.node_waveform(output);
     let half = VDD / 2.0;
-    let t_in = crossing_time(&vin, half, true, 0.0)
-        .or_else(|| crossing_time(&vin, half, false, 0.0))?;
+    let t_in =
+        crossing_time(&vin, half, true, 0.0).or_else(|| crossing_time(&vin, half, false, 0.0))?;
     let t_out = crossing_time(&vout, half, true, t_in)
         .or_else(|| crossing_time(&vout, half, false, t_in))?;
     Some(t_out - t_in)
@@ -120,20 +115,12 @@ mod tests {
         let delay = cell_delay(&cell, 3.0e-9, 5e-12, &SolverOpts::default())
             .expect("transient converges")
             .expect("output switches");
-        assert!(
-            delay > 1e-12 && delay < 2e-9,
-            "delay = {} ps",
-            delay * 1e12
-        );
+        assert!(delay > 1e-12 && delay < 2e-9, "delay = {} ps", delay * 1e12);
     }
 
     #[test]
     fn healthy_inverter_leakage_is_tiny() {
-        let cell = AnalogCell::build(
-            CellKind::Inv,
-            shared_table(),
-            &[Waveform::Dc(0.0)],
-        );
+        let cell = AnalogCell::build(CellKind::Inv, shared_table(), &[Waveform::Dc(0.0)]);
         let leak = dc_leakage(&cell, &SolverOpts::default()).expect("dc");
         assert!(leak < 1e-8, "leakage = {leak}");
     }
@@ -143,11 +130,7 @@ mod tests {
         // Bridge the output to ground while the pull-up drives 1: the
         // supply must deliver a short-circuit current orders of magnitude
         // above the quiescent floor.
-        let mut cell = AnalogCell::build(
-            CellKind::Inv,
-            shared_table(),
-            &[Waveform::Dc(0.0)],
-        );
+        let mut cell = AnalogCell::build(CellKind::Inv, shared_table(), &[Waveform::Dc(0.0)]);
         let out = cell.out;
         cell.bridge(out, crate::circuit::GROUND, 1.0e4);
         let leak = dc_leakage(&cell, &SolverOpts::default()).expect("dc");

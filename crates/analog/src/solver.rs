@@ -366,11 +366,7 @@ fn newton(
 /// # Errors
 ///
 /// Returns [`SolveError`] when Newton fails even with source stepping.
-pub fn dc_at(
-    ckt: &AnalogCircuit,
-    t: f64,
-    opts: &SolverOpts,
-) -> Result<DcSolution, SolveError> {
+pub fn dc_at(ckt: &AnalogCircuit, t: f64, opts: &SolverOpts) -> Result<DcSolution, SolveError> {
     let n_nodes = ckt.node_count();
     let n_src = ckt
         .elements()
@@ -472,7 +468,17 @@ pub fn transient(
     let mut v_prev = ic.v;
     while t < t_stop {
         t += dt;
-        newton(ckt, &mut x, t, 1.0, &Mode::Tran { h: dt, v_prev: &v_prev }, opts)?;
+        newton(
+            ckt,
+            &mut x,
+            t,
+            1.0,
+            &Mode::Tran {
+                h: dt,
+                v_prev: &v_prev,
+            },
+            opts,
+        )?;
         let sol = unpack(ckt, &x);
         v_prev = sol.v.clone();
         out.time.push(t);
@@ -505,7 +511,11 @@ mod tests {
         c.add_resistor(top, mid, 1000.0);
         c.add_resistor(mid, GROUND, 3000.0);
         let sol = dc(&c, &SolverOpts::default()).expect("linear circuit");
-        assert!((sol.voltage(mid) - 0.9).abs() < 1e-6, "v_mid={}", sol.voltage(mid));
+        assert!(
+            (sol.voltage(mid) - 0.9).abs() < 1e-6,
+            "v_mid={}",
+            sol.voltage(mid)
+        );
         // gmin adds a tiny extra load.
         assert!((sol.delivered(src) - 1.2 / 4000.0).abs() < 1e-8);
     }
@@ -535,7 +545,10 @@ mod tests {
         let v_tau = wave
             .iter()
             .min_by(|a, b| {
-                (a.0 - 1.0e-6).abs().partial_cmp(&(b.0 - 1.0e-6).abs()).expect("finite")
+                (a.0 - 1.0e-6)
+                    .abs()
+                    .partial_cmp(&(b.0 - 1.0e-6).abs())
+                    .expect("finite")
             })
             .expect("nonempty")
             .1;

@@ -8,7 +8,7 @@
 //!   justification mode the cell-aware flow of `sinw-core` builds on;
 //! * [`faultsim`] — serial and 64-way bit-parallel stuck-at fault
 //!   simulation with fault dropping and reverse-order compaction;
-//! * [`collapse`] — structural fault-equivalence collapsing;
+//! * [`collapse`](mod@collapse) — structural fault-equivalence collapsing;
 //! * [`sof`] — classical two-pattern stuck-open generation, which covers
 //!   every break in the SP cells and *none* in the DP cells (the coverage
 //!   gap that motivates the paper's new test algorithm).

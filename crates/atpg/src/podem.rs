@@ -44,11 +44,7 @@ pub type Constraint = (SignalId, bool);
 
 /// Generate a test for `fault` on `circuit`.
 #[must_use]
-pub fn generate_test(
-    circuit: &Circuit,
-    fault: StuckAtFault,
-    config: &PodemConfig,
-) -> PodemResult {
+pub fn generate_test(circuit: &Circuit, fault: StuckAtFault, config: &PodemConfig) -> PodemResult {
     search(circuit, Some(fault), &[], config)
 }
 
@@ -236,8 +232,7 @@ fn test_possible(circuit: &Circuit, fault: StuckAtFault, twins: &[Twin]) -> bool
         match fault.site {
             FaultSite::GatePin(g, _) => {
                 let out = circuit.gates()[g.0].output;
-                let unresolved =
-                    twins[out.0].good == Logic::X || twins[out.0].faulty == Logic::X;
+                let unresolved = twins[out.0].good == Logic::X || twins[out.0].faulty == Logic::X;
                 if !unresolved {
                     return false;
                 }
@@ -256,8 +251,7 @@ fn test_possible(circuit: &Circuit, fault: StuckAtFault, twins: &[Twin]) -> bool
             continue;
         }
         let fed = gate.inputs.iter().any(|s| reach[s.0]);
-        let unresolved =
-            twins[out.0].good == Logic::X || twins[out.0].faulty == Logic::X;
+        let unresolved = twins[out.0].good == Logic::X || twins[out.0].faulty == Logic::X;
         if fed && unresolved {
             reach[out.0] = true;
         }
@@ -461,10 +455,7 @@ mod tests {
         let a = c.add_input("a");
         let o = c.add_gate(CellKind::Nand2, "g", &[a, a]);
         c.mark_output(o);
-        let fault = StuckAtFault::sa1(FaultSite::GatePin(
-            sinw_switch::gate::GateId(0),
-            0,
-        ));
+        let fault = StuckAtFault::sa1(FaultSite::GatePin(sinw_switch::gate::GateId(0), 0));
         let r = generate_test(&c, fault, &PodemConfig::default());
         assert_eq!(r, PodemResult::Untestable);
     }
@@ -499,12 +490,7 @@ mod tests {
         let g11_out = c.gates()[1].output;
         // Detect i7 s-a-1 while forcing g11.out = 1 (side constraint).
         let fault = StuckAtFault::sa1(FaultSite::Signal(SignalId(4)));
-        match generate_test_constrained(
-            &c,
-            fault,
-            &[(g11_out, true)],
-            &PodemConfig::default(),
-        ) {
+        match generate_test_constrained(&c, fault, &[(g11_out, true)], &PodemConfig::default()) {
             PodemResult::Test(p) => {
                 assert!(verify_test(&c, fault, &p));
                 let logic: Vec<_> = p.iter().map(|b| Logic::from_bool(*b)).collect();

@@ -143,8 +143,7 @@ pub fn generate_sof_test(
             site: FaultSite::Signal(g.output),
             value: retained,
         };
-        let eval_pattern = match generate_test_constrained(circuit, fault, &constraints, config)
-        {
+        let eval_pattern = match generate_test_constrained(circuit, fault, &constraints, config) {
             PodemResult::Test(p) => p,
             _ => continue,
         };

@@ -8,7 +8,7 @@ use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::{simulate_faults, simulate_faults_serial};
 use sinw_atpg::podem::{generate_test, PodemConfig};
 use sinw_device::model::{Bias, TigFet};
-use sinw_device::table::{Axis, TigTable};
+use sinw_device::table::TigTable;
 use sinw_switch::gate::Circuit;
 use std::hint::black_box;
 
@@ -34,10 +34,8 @@ fn table_resolution_report() {
                 // near-zero off currents is meaningless for delay/leakage
                 // purposes (both are decades below the observables).
                 let scale = exact.abs().max(1e-8);
-                worst_coarse =
-                    worst_coarse.max(((coarse.current(bias) - exact) / scale).abs());
-                worst_std =
-                    worst_std.max(((standard.current(bias) - exact) / scale).abs());
+                worst_coarse = worst_coarse.max(((coarse.current(bias) - exact) / scale).abs());
+                worst_std = worst_std.max(((standard.current(bias) - exact) / scale).abs());
                 k += 1;
             }
         }

@@ -248,9 +248,8 @@ pub fn dual_rail_test(kind: CellKind, t_index: usize) -> Option<DualRailTest> {
         }
         // Init: a normal vector whose fault-free output is the complement.
         let n = cell.inputs.len();
-        let init = (0..(1u32 << n)).map(|vb| {
-            (0..n).map(|k| (vb >> k) & 1 == 1).collect::<Vec<bool>>()
-        });
+        let init =
+            (0..(1u32 << n)).map(|vb| (0..n).map(|k| (vb >> k) & 1 == 1).collect::<Vec<bool>>());
         for init_vec in init {
             if Logic::from_bool(kind.function(&init_vec)) == driven.not() {
                 let eval_rails: Vec<(NetId, Logic)> = rails
@@ -274,17 +273,10 @@ pub fn dual_rail_test(kind: CellKind, t_index: usize) -> Option<DualRailTest> {
 /// Execute a dual-rail test on the switch-level cell model and return the
 /// verdict, with ground truth `channel_broken` injected.
 #[must_use]
-pub fn run_dual_rail_test(
-    kind: CellKind,
-    test: &DualRailTest,
-    channel_broken: bool,
-) -> Verdict {
+pub fn run_dual_rail_test(kind: CellKind, test: &DualRailTest, channel_broken: bool) -> Verdict {
     let cell = Cell::build(kind);
     let faults = if channel_broken {
-        FaultSet::single(
-            cell.transistors[test.target],
-            TransistorFault::ChannelBreak,
-        )
+        FaultSet::single(cell.transistors[test.target], TransistorFault::ChannelBreak)
     } else {
         FaultSet::new()
     };

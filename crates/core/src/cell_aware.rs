@@ -90,8 +90,7 @@ pub fn lift_polarity_test(
             site: FaultSite::Signal(g.output),
             value: faulty_high,
         };
-        if let PodemResult::Test(p) = generate_test_constrained(circuit, sa, &constraints, config)
-        {
+        if let PodemResult::Test(p) = generate_test_constrained(circuit, sa, &constraints, config) {
             return Some(LiftedTest::OutputObservable { pattern: p });
         }
     }
@@ -179,11 +178,7 @@ pub fn generate_campaign(
 /// visible deviation at switch level; the analog dictionary already
 /// established the flip is solid electrically).
 #[must_use]
-pub fn validate_output_test(
-    circuit: &Circuit,
-    target: CellAwareTarget,
-    pattern: &[bool],
-) -> bool {
+pub fn validate_output_test(circuit: &Circuit, target: CellAwareTarget, pattern: &[bool]) -> bool {
     let flat = circuit.flatten();
     let assignment: Vec<(sinw_switch::netlist::NetId, Logic)> = circuit
         .primary_inputs()
@@ -232,8 +227,7 @@ mod tests {
         for gi in 0..c.gates().len() {
             for t in 0..4 {
                 for fault in [TransistorFault::StuckAtNType, TransistorFault::StuckAtPType] {
-                    let lifted =
-                        lift_polarity_test(&c, GateId(gi), xor2_dict(), t, fault, &config);
+                    let lifted = lift_polarity_test(&c, GateId(gi), xor2_dict(), t, fault, &config);
                     assert!(
                         lifted.is_some(),
                         "gate {gi} t{} {fault} did not lift",

@@ -175,13 +175,7 @@ impl Experiments {
             .map(|k| if k == 0 { pulse.clone() } else { side(k) })
             .collect();
         let static_waves: Vec<Waveform> = (0..kind.input_count())
-            .map(|k| {
-                if k == 0 {
-                    Waveform::Dc(0.0)
-                } else {
-                    side(k)
-                }
-            })
+            .map(|k| if k == 0 { Waveform::Dc(0.0) } else { side(k) })
             .collect();
 
         let mut points = Vec::new();
@@ -383,7 +377,10 @@ impl fmt::Display for Fig3Result {
             "Fig. 3 — GOS I–V signatures (healthy I_sat = {:.3e} A)",
             self.i_sat_healthy
         )?;
-        writeln!(f, "  site  I_sat ratio   dVth (mV)   negative I_D @ low V_DS")?;
+        writeln!(
+            f,
+            "  site  I_sat ratio   dVth (mV)   negative I_D @ low V_DS"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -391,7 +388,11 @@ impl fmt::Display for Fig3Result {
                 r.site.to_string(),
                 r.sat_ratio,
                 r.delta_vth_mv,
-                if r.negative_id_at_low_vds { "yes" } else { "no" }
+                if r.negative_id_at_low_vds {
+                    "yes"
+                } else {
+                    "no"
+                }
             )?;
         }
         Ok(())
@@ -634,10 +635,17 @@ impl fmt::Display for Sec5cResult {
                 r.delay_ratio,
                 if r.functionality_intact { "yes" } else { "NO" },
                 if r.sof_testable { "yes" } else { "no" },
-                if r.new_algorithm_works { "works" } else { "FAILS" }
+                if r.new_algorithm_works {
+                    "works"
+                } else {
+                    "FAILS"
+                }
             )?;
         }
-        writeln!(f, "  NAND two-pattern tests (paper: 11->01, 11->10, 00->11):")?;
+        writeln!(
+            f,
+            "  NAND two-pattern tests (paper: 11->01, 11->10, 00->11):"
+        )?;
         for (t, pairs) in &self.nand_pairs {
             let rendered: Vec<String> = pairs.iter().map(ToString::to_string).collect();
             writeln!(f, "    t{}: {}", t + 1, rendered.join(" "))?;

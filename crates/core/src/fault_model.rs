@@ -186,10 +186,7 @@ impl CellClassification {
             .iter()
             .map(|d| classify(kind, d))
             .collect();
-        CellClassification {
-            kind,
-            classified,
-        }
+        CellClassification { kind, classified }
     }
 
     /// Defects only the paper's new models/algorithm can detect.

@@ -178,7 +178,10 @@ pub fn enumerate_defects(cell: &Cell) -> Vec<PhysicalDefect> {
 
     // (5) metallisation defects on the signal nets.
     for net in cell.netlist.nets() {
-        if matches!(net.kind, NetKind::Input | NetKind::Internal | NetKind::Output) {
+        if matches!(
+            net.kind,
+            NetKind::Input | NetKind::Internal | NetKind::Output
+        ) {
             defects.push(PhysicalDefect {
                 class: DefectClass::FloatingGate,
                 step: ProcessStep::Metallization,
@@ -223,10 +226,7 @@ pub fn census(kind: CellKind) -> DefectCensus {
         };
         per_class[idx] += 1;
     }
-    DefectCensus {
-        kind,
-        per_class,
-    }
+    DefectCensus { kind, per_class }
 }
 
 #[cfg(test)]

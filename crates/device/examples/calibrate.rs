@@ -20,7 +20,12 @@ fn observe(cal: &GosCalibration) -> Obs {
     let i_on = fet.drain_current(sat);
     let vth0 = fet.threshold_voltage(1.2, 1.2, 3e-7).unwrap_or(f64::NAN);
     let n0 = fet.probe_density(sat);
-    let mut obs = Obs { sat_ratio: [0.0; 3], dvth_mv: [0.0; 3], dens_ratio: [0.0; 3], i_low: [0.0; 3] };
+    let mut obs = Obs {
+        sat_ratio: [0.0; 3],
+        dvth_mv: [0.0; 3],
+        dens_ratio: [0.0; 3],
+        i_low: [0.0; 3],
+    };
     for (k, site) in GateTerminal::ALL.into_iter().enumerate() {
         let mut sick = TigFet::ideal().with_defect(DeviceDefect::gos(site));
         sick.params.gos = *cal;
@@ -36,19 +41,33 @@ fn score(o: &Obs) -> f64 {
     // Shape targets: sat ratios PGS<CG<... PGD~1; density PGS~109, CG~8.8, PGD~11.8;
     // dVth positive for PGS/CG, ~0 for PGD; I(10mV) negative everywhere.
     let mut s = 0.0;
-    let t = |v: f64, lo: f64, hi: f64| if v >= lo && v <= hi { 0.0 } else { (v - (lo + hi) / 2.0).abs() };
+    let t = |v: f64, lo: f64, hi: f64| {
+        if v >= lo && v <= hi {
+            0.0
+        } else {
+            (v - (lo + hi) / 2.0).abs()
+        }
+    };
     s += t(o.sat_ratio[0], 0.05, 0.55) * 2.0;
     s += t(o.sat_ratio[1], 0.2, 0.8) * 2.0;
     s += t(o.sat_ratio[2], 0.97, 1.2) * 2.0;
-    if o.sat_ratio[0] >= o.sat_ratio[1] { s += 1.0; }
+    if o.sat_ratio[0] >= o.sat_ratio[1] {
+        s += 1.0;
+    }
     s += t(o.dens_ratio[0].ln(), 50f64.ln(), 250f64.ln());
     s += t(o.dens_ratio[1].ln(), 5f64.ln(), 15f64.ln());
     s += t(o.dens_ratio[2].ln(), 8f64.ln(), 20f64.ln());
-    if !(o.dens_ratio[0] > o.dens_ratio[2] && o.dens_ratio[2] > o.dens_ratio[1]) { s += 1.0; }
+    if !(o.dens_ratio[0] > o.dens_ratio[2] && o.dens_ratio[2] > o.dens_ratio[1]) {
+        s += 1.0;
+    }
     s += t(o.dvth_mv[0], 40.0, 300.0) / 100.0;
     s += t(o.dvth_mv[1], 40.0, 350.0) / 100.0;
     s += t(o.dvth_mv[2], -40.0, 40.0) / 100.0;
-    for i in 0..3 { if o.i_low[i] >= 0.0 { s += 1.0; } }
+    for i in 0..3 {
+        if o.i_low[i] >= 0.0 {
+            s += 1.0;
+        }
+    }
     s
 }
 
@@ -75,7 +94,13 @@ fn main() {
         for rho_cg in [0.4] {
             for leak in [5e-7] {
                 for sigma in [5e-9] {
-                    let mut cal = GosCalibration { rho_pgs, rho_cg, gate_leak_s: leak, sink_sigma: sigma, ..GosCalibration::default() };
+                    let mut cal = GosCalibration {
+                        rho_pgs,
+                        rho_cg,
+                        gate_leak_s: leak,
+                        sink_sigma: sigma,
+                        ..GosCalibration::default()
+                    };
                     // inner fit of sinks: pick sink so density ratio hits target
                     for (idx, target) in [(0usize, 109.0), (1, 8.84), (2, 11.84)] {
                         let mut lo = 1.0f64;
@@ -88,7 +113,11 @@ fn main() {
                                 _ => cal.sink_pgd = mid,
                             }
                             let o = observe(&cal);
-                            if o.dens_ratio[idx] < target { lo = mid } else { hi = mid }
+                            if o.dens_ratio[idx] < target {
+                                lo = mid
+                            } else {
+                                hi = mid
+                            }
                         }
                     }
                     let o = observe(&cal);

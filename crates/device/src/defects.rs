@@ -90,10 +90,7 @@ impl DeviceDefect {
     /// Convenience constructor for a 2 nm GOS plug at `site`.
     #[must_use]
     pub fn gos(site: GateTerminal) -> Self {
-        DeviceDefect::GateOxideShort {
-            site,
-            size: 2.0e-9,
-        }
+        DeviceDefect::GateOxideShort { site, size: 2.0e-9 }
     }
 
     /// Convenience constructor for a complete channel break at mid-wire.

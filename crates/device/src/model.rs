@@ -204,7 +204,12 @@ impl TigFet {
     #[must_use]
     pub fn channel_current(&self, bias: Bias) -> CurrentBreakdown {
         let profile = self.band_profile(bias);
-        landauer_current(&profile, bias.v_ds, &self.params.transport, &self.params.grid)
+        landauer_current(
+            &profile,
+            bias.v_ds,
+            &self.params.transport,
+            &self.params.grid,
+        )
     }
 
     /// Total drain current in amperes, including the GOS gate-leak paths.
@@ -245,7 +250,12 @@ impl TigFet {
         let mut sinks: Vec<GosEffects> = Vec::new();
         for defect in &self.defects {
             if let DeviceDefect::GateOxideShort { site, size } = defect {
-                sinks.push(GosEffects::derive(&self.geometry, &self.params.gos, *site, *size));
+                sinks.push(GosEffects::derive(
+                    &self.geometry,
+                    &self.params.gos,
+                    *site,
+                    *size,
+                ));
             }
         }
         let mut out = Vec::with_capacity(profile.e_c.len());
@@ -292,8 +302,7 @@ impl TigFet {
         assert!(points >= 2, "a sweep needs at least two points");
         (0..points)
             .map(|i| {
-                let v_cg =
-                    v_start + (v_stop - v_start) * (i as f64) / ((points - 1) as f64);
+                let v_cg = v_start + (v_stop - v_start) * (i as f64) / ((points - 1) as f64);
                 let bias = Bias {
                     v_cg,
                     v_pgs,
@@ -320,8 +329,7 @@ impl TigFet {
         assert!(points >= 2, "a sweep needs at least two points");
         (0..points)
             .map(|i| {
-                let v_ds =
-                    v_start + (v_stop - v_start) * (i as f64) / ((points - 1) as f64);
+                let v_ds = v_start + (v_stop - v_start) * (i as f64) / ((points - 1) as f64);
                 let bias = Bias {
                     v_cg,
                     v_pgs,
@@ -499,7 +507,10 @@ mod tests {
         assert!(ratio[0] > 50.0 && ratio[0] < 250.0, "PGS {}", ratio[0]);
         assert!(ratio[1] > 5.0 && ratio[1] < 15.0, "CG {}", ratio[1]);
         assert!(ratio[2] > 8.0 && ratio[2] < 20.0, "PGD {}", ratio[2]);
-        assert!(ratio[0] > ratio[2] && ratio[2] > ratio[1], "ordering {ratio:?}");
+        assert!(
+            ratio[0] > ratio[2] && ratio[2] > ratio[1],
+            "ordering {ratio:?}"
+        );
     }
 
     #[test]

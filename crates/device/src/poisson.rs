@@ -273,8 +273,7 @@ mod tests {
                 && map[i + 1] == Region::Spacer
             {
                 // interior of a spacer (shift by 1 for the boundary point)
-                let second_diff =
-                    profile.e_c[i] - 2.0 * profile.e_c[i + 1] + profile.e_c[i + 2];
+                let second_diff = profile.e_c[i] - 2.0 * profile.e_c[i + 1] + profile.e_c[i + 2];
                 assert!(
                     second_diff.abs() < 1e-9,
                     "spacer point {i} not harmonic: {second_diff}"

@@ -220,11 +220,7 @@ impl TigTable {
                         if w3 == 0.0 {
                             continue;
                         }
-                        acc += w0
-                            * w1
-                            * w2
-                            * w3
-                            * self.sample(i0 + d0, i1 + d1, i2 + d2, i3 + d3);
+                        acc += w0 * w1 * w2 * w3 * self.sample(i0 + d0, i1 + d1, i2 + d2, i3 + d3);
                     }
                 }
             }
@@ -260,20 +256,44 @@ impl TigTable {
         let d = |plus: Bias, minus: Bias| (self.current(plus) - self.current(minus)) / (2.0 * h);
         (
             d(
-                Bias { v_cg: bias.v_cg + h, ..bias },
-                Bias { v_cg: bias.v_cg - h, ..bias },
+                Bias {
+                    v_cg: bias.v_cg + h,
+                    ..bias
+                },
+                Bias {
+                    v_cg: bias.v_cg - h,
+                    ..bias
+                },
             ),
             d(
-                Bias { v_pgs: bias.v_pgs + h, ..bias },
-                Bias { v_pgs: bias.v_pgs - h, ..bias },
+                Bias {
+                    v_pgs: bias.v_pgs + h,
+                    ..bias
+                },
+                Bias {
+                    v_pgs: bias.v_pgs - h,
+                    ..bias
+                },
             ),
             d(
-                Bias { v_pgd: bias.v_pgd + h, ..bias },
-                Bias { v_pgd: bias.v_pgd - h, ..bias },
+                Bias {
+                    v_pgd: bias.v_pgd + h,
+                    ..bias
+                },
+                Bias {
+                    v_pgd: bias.v_pgd - h,
+                    ..bias
+                },
             ),
             d(
-                Bias { v_ds: bias.v_ds + h, ..bias },
-                Bias { v_ds: bias.v_ds - h, ..bias },
+                Bias {
+                    v_ds: bias.v_ds + h,
+                    ..bias
+                },
+                Bias {
+                    v_ds: bias.v_ds - h,
+                    ..bias
+                },
             ),
         )
     }

@@ -250,22 +250,29 @@ mod tests {
     fn on_state_carries_microamps_off_state_does_not() {
         // ON: channel pulled below the Fermi level -> thin source wedge.
         let on = flat_profile(-0.19, 1.2);
-        let i_on =
-            landauer_current(&on, 1.2, &TransportParams::default(), &EnergyGrid::standard());
+        let i_on = landauer_current(
+            &on,
+            1.2,
+            &TransportParams::default(),
+            &EnergyGrid::standard(),
+        );
         // OFF: the mixed configuration of a blocked CP device (CG driven,
         // polarity gates at flat band): electrons are blocked by the 22 nm
         // flat-band barrier under the polarity gates, holes by the deep
         // valence band under the driven control gate.
         let g = DeviceGeometry::table_ii();
-        let coupling = CouplingProfile::from_geometry_sharpened(&g, 3.0, 4.0e-9, |gate| {
-            match gate {
+        let coupling =
+            CouplingProfile::from_geometry_sharpened(&g, 3.0, 4.0e-9, |gate| match gate {
                 crate::geometry::GateTerminal::Cg => -0.43,
                 _ => 0.41,
-            }
-        });
+            });
         let off = solve(&g, &coupling, 0.41, 0.41 - 1.2);
-        let i_off =
-            landauer_current(&off, 1.2, &TransportParams::default(), &EnergyGrid::standard());
+        let i_off = landauer_current(
+            &off,
+            1.2,
+            &TransportParams::default(),
+            &EnergyGrid::standard(),
+        );
         assert!(
             i_on.total() > 1e-7,
             "ON current too small: {}",

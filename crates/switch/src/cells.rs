@@ -182,7 +182,10 @@ impl Cell {
 fn base_nets(nl: &mut Netlist, names: &[&str]) -> (NetId, NetId, Vec<NetId>, NetId) {
     let vdd = nl.add_net("vdd", NetKind::Supply);
     let gnd = nl.add_net("gnd", NetKind::Ground);
-    let inputs: Vec<NetId> = names.iter().map(|n| nl.add_net(*n, NetKind::Input)).collect();
+    let inputs: Vec<NetId> = names
+        .iter()
+        .map(|n| nl.add_net(*n, NetKind::Input))
+        .collect();
     let out = nl.add_net("out", NetKind::Output);
     (vdd, gnd, inputs, out)
 }
@@ -339,10 +342,7 @@ mod tests {
         for kind in CellKind::ALL {
             let cell = Cell::build(kind);
             let failures = cell.verify_truth_table();
-            assert!(
-                failures.is_empty(),
-                "{kind} fails on vectors {failures:?}"
-            );
+            assert!(failures.is_empty(), "{kind} fails on vectors {failures:?}");
         }
     }
 

@@ -109,10 +109,7 @@ impl FaultSet {
     }
 
     /// Faults on a given transistor.
-    pub fn on_transistor(
-        &self,
-        t: TransistorId,
-    ) -> impl Iterator<Item = TransistorFault> + '_ {
+    pub fn on_transistor(&self, t: TransistorId) -> impl Iterator<Item = TransistorFault> + '_ {
         self.transistor_faults
             .iter()
             .filter(move |(id, _)| *id == t)

@@ -201,22 +201,20 @@ impl Circuit {
         let mut gate_transistors: Vec<Vec<TransistorId>> = Vec::with_capacity(self.gates.len());
         let mut inverter_count = 0usize;
 
-        let mut get_complement = |nl: &mut Netlist,
-                                  complement: &mut Vec<Option<NetId>>,
-                                  sig: SignalId|
-         -> NetId {
-            if let Some(n) = complement[sig.0] {
-                return n;
-            }
-            let name = format!("n_{}", self.signal_names[sig.0]);
-            let cnet = nl.add_net(name, NetKind::Internal);
-            inverter_count += 1;
-            let inv = format!("cinv{inverter_count}");
-            nl.add_tig(format!("{inv}.t1"), vdd, cnet, signal_net[sig.0], gnd);
-            nl.add_tig(format!("{inv}.t3"), gnd, cnet, signal_net[sig.0], vdd);
-            complement[sig.0] = Some(cnet);
-            cnet
-        };
+        let mut get_complement =
+            |nl: &mut Netlist, complement: &mut Vec<Option<NetId>>, sig: SignalId| -> NetId {
+                if let Some(n) = complement[sig.0] {
+                    return n;
+                }
+                let name = format!("n_{}", self.signal_names[sig.0]);
+                let cnet = nl.add_net(name, NetKind::Internal);
+                inverter_count += 1;
+                let inv = format!("cinv{inverter_count}");
+                nl.add_tig(format!("{inv}.t1"), vdd, cnet, signal_net[sig.0], gnd);
+                nl.add_tig(format!("{inv}.t3"), gnd, cnet, signal_net[sig.0], vdd);
+                complement[sig.0] = Some(cnet);
+                cnet
+            };
 
         for gate in &self.gates {
             let cell = Cell::build(gate.kind);
@@ -236,10 +234,7 @@ impl Circuit {
                     local_map[li] = Some(match local.kind {
                         NetKind::Supply => vdd,
                         NetKind::Ground => gnd,
-                        _ => nl.add_net(
-                            format!("{}.{}", gate.name, local.name),
-                            NetKind::Internal,
-                        ),
+                        _ => nl.add_net(format!("{}.{}", gate.name, local.name), NetKind::Internal),
                     });
                 }
             }
@@ -400,7 +395,7 @@ mod tests {
 
     #[test]
     fn eval_cell_handles_x_pessimistically_but_precisely() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         // NAND with one controlling 0 is 1 regardless of the X.
         assert_eq!(eval_cell(CellKind::Nand2, &[Zero, X]), One);
         assert_eq!(eval_cell(CellKind::Nand2, &[One, X]), X);
@@ -438,7 +433,7 @@ mod tests {
                     inputs.push((b >> i) & 1 == 1);
                 }
                 inputs.push(false); // cin
-                // PI order is a0..a3, b0..b3, cin — matches creation order.
+                                    // PI order is a0..a3, b0..b3, cin — matches creation order.
                 let outs = c.eval_outputs(&inputs);
                 let expect = a + b;
                 for (i, o) in outs.iter().enumerate() {

@@ -191,10 +191,7 @@ impl Netlist {
     /// Look a net up by name.
     #[must_use]
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.nets
-            .iter()
-            .position(|n| n.name == name)
-            .map(NetId)
+        self.nets.iter().position(|n| n.name == name).map(NetId)
     }
 
     /// Look a transistor up by instance name.
@@ -257,7 +254,7 @@ impl Netlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     #[test]
     fn conduction_rule_matches_section_iii() {

@@ -172,8 +172,7 @@ impl<'a> SwitchSim<'a> {
         let n = self.netlist.net_count();
         let mut label: Vec<Option<(Strength, Logic)>> = vec![None; n];
         let edge_ok = |c: Conduction| {
-            matches!(c, Conduction::On)
-                || (include_unknown && matches!(c, Conduction::Unknown))
+            matches!(c, Conduction::On) || (include_unknown && matches!(c, Conduction::Unknown))
         };
 
         // The charge level is solved in two waves: output nets carry the
@@ -196,8 +195,7 @@ impl<'a> SwitchSim<'a> {
                 }
                 let seed = match wave {
                     0 | 1 => fixed[i].filter(|(s, _)| *s == level).map(|(_, v)| v),
-                    2 => (self.netlist.nets()[i].kind == NetKind::Output)
-                        .then_some(self.state[i]),
+                    2 => (self.netlist.nets()[i].kind == NetKind::Output).then_some(self.state[i]),
                     // Every still-unlabeled net holds its own charge.
                     _ => Some(self.state[i]),
                 };
@@ -309,8 +307,7 @@ impl<'a> SwitchSim<'a> {
             }
         }
         let edge_ok = |c: Conduction| {
-            matches!(c, Conduction::On)
-                || (include_unknown && matches!(c, Conduction::Unknown))
+            matches!(c, Conduction::On) || (include_unknown && matches!(c, Conduction::Unknown))
         };
         while let Some(u) = queue.pop() {
             if self.netlist.nets()[u].kind == NetKind::Ground {
@@ -486,7 +483,10 @@ mod tests {
         assert!(!r0.rail_short, "no short at A=0 (device off: CG=0, PG=1)");
         // At A=0 the pull-up is now OFF (mixed gates) and the pull-down is
         // off too -> the output floats at its retained value.
-        assert_eq!(r0.strengths[nl.find_net("out").unwrap().0], Strength::Charged);
+        assert_eq!(
+            r0.strengths[nl.find_net("out").unwrap().0],
+            Strength::Charged
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ fn main() {
         100.0 * report.coverage()
     );
     let compacted = compact_reverse(&c, &faults, &patterns);
-    println!("after reverse-order compaction: {} patterns", compacted.len());
+    println!(
+        "after reverse-order compaction: {} patterns",
+        compacted.len()
+    );
 
     // Cell-aware campaign for the CP-specific defects.
     println!("\nbuilding cell dictionaries (analog fault injection)...");
@@ -57,7 +60,10 @@ fn main() {
         .map(|k| (k, build_dictionary(k, &table)))
         .collect();
     let dict_of = |kind: CellKind| -> Option<CellDictionary> {
-        dicts.iter().find(|(k, _)| *k == kind).map(|(_, d)| d.clone())
+        dicts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, d)| d.clone())
     };
     let campaign = generate_campaign(&c, &dict_of, &config);
     let mut by_kind = [0usize; 5];

@@ -31,8 +31,7 @@ fn main() {
                 }
                 DefectSite::Net(n) => format!("net {n}"),
             };
-            let models: Vec<String> =
-                c.detected_by.iter().map(ToString::to_string).collect();
+            let models: Vec<String> = c.detected_by.iter().map(ToString::to_string).collect();
             println!(
                 "  {:24} {:18} -> {}",
                 site,

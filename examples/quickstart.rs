@@ -34,19 +34,24 @@ fn main() {
         masking.functionality_intact, masking.leakage_ratio, masking.delay_ratio
     );
     let sof = sinw_atpg::sof::cell_sof_tests(CellKind::Xor2, 0);
-    println!("classical two-pattern (stuck-open) tests found: {}", sof.len());
+    println!(
+        "classical two-pattern (stuck-open) tests found: {}",
+        sof.len()
+    );
 
     // 4. The paper's algorithm: inject the complement polarity, apply the
     //    Table III vector, and read the verdict from the (non-)anomaly.
     let dict = build_dictionary(CellKind::Xor2, &table);
     for broken in [false, true] {
         let verdict = bridge_injection_verdict(CellKind::Xor2, 0, &dict, &table, broken);
-        println!(
-            "polarity-injection verdict with channel_broken={broken}: {verdict:?}"
-        );
+        println!("polarity-injection verdict with channel_broken={broken}: {verdict:?}");
         assert_eq!(
             verdict,
-            if broken { Verdict::ChannelBroken } else { Verdict::ChannelIntact }
+            if broken {
+                Verdict::ChannelBroken
+            } else {
+                Verdict::ChannelIntact
+            }
         );
     }
 

@@ -1,0 +1,36 @@
+//! # sinw — fault modeling in controllable-polarity SiNW circuits
+//!
+//! Umbrella crate of the DATE 2015 reproduction *"Fault Modeling in
+//! Controllable Polarity Silicon Nanowire Circuits"* (H. Ghasemzadeh
+//! Mohammadi, P.-E. Gaillardon, G. De Micheli). It re-exports the five
+//! substrate crates so the repo-level `examples/` and `tests/` can reach the
+//! whole stack through one dependency, and so downstream users get a single
+//! entry point:
+//!
+//! | crate | layer |
+//! |-------|-------|
+//! | [`device`] (`sinw-device`) | synthetic TCAD: Poisson + WKB transport, defects, table model |
+//! | [`analog`] (`sinw-analog`) | SPICE-like Newton-MNA DC / transient solver over the table model |
+//! | [`switch`] (`sinw-switch`) | three-valued switch-level simulation, Fig. 2 cell library |
+//! | [`atpg`] (`sinw-atpg`) | classical PODEM / fault-simulation / stuck-open baselines |
+//! | [`core`] (`sinw-core`) | the paper's contributions: IFA census, dictionaries, channel-break tests |
+//!
+//! ```
+//! use sinw::switch::cells::{Cell, CellKind};
+//!
+//! // The whole stack is reachable through the umbrella:
+//! let xor2 = Cell::build(CellKind::Xor2);
+//! assert!(xor2.verify_truth_table().is_empty());
+//! ```
+//!
+//! See `README.md` for the crate map and quickstart, and `EXPERIMENTS.md`
+//! for the mapping from experiment drivers to the paper's tables and figures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use sinw_analog as analog;
+pub use sinw_atpg as atpg;
+pub use sinw_core as core;
+pub use sinw_device as device;
+pub use sinw_switch as switch;

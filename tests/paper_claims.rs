@@ -27,10 +27,16 @@ fn fig3_gos_shape() {
     };
     let pgs = row(GateTerminal::Pgs);
     assert!(pgs.sat_ratio > 0.03 && pgs.sat_ratio < 0.6, "{pgs:?}");
-    assert!(pgs.delta_vth_mv > 20.0 && pgs.delta_vth_mv < 300.0, "{pgs:?}");
+    assert!(
+        pgs.delta_vth_mv > 20.0 && pgs.delta_vth_mv < 300.0,
+        "{pgs:?}"
+    );
     assert!(pgs.negative_id_at_low_vds);
     let cg = row(GateTerminal::Cg);
-    assert!(cg.sat_ratio > pgs.sat_ratio && cg.sat_ratio < 0.97, "{cg:?}");
+    assert!(
+        cg.sat_ratio > pgs.sat_ratio && cg.sat_ratio < 0.97,
+        "{cg:?}"
+    );
     assert!(cg.delta_vth_mv > 40.0 && cg.delta_vth_mv < 350.0, "{cg:?}");
     assert!(cg.negative_id_at_low_vds);
     let pgd = row(GateTerminal::Pgd);
@@ -157,7 +163,11 @@ fn table1_classification_summary() {
     let t1 = ctx().table1();
     for row in &t1.cells {
         if row.kind.is_dynamic_polarity() {
-            assert!(row.needs_new > 0, "{}: DP cells have a coverage gap", row.kind);
+            assert!(
+                row.needs_new > 0,
+                "{}: DP cells have a coverage gap",
+                row.kind
+            );
         } else {
             assert_eq!(row.needs_new, 0, "{}: SP cells are classical", row.kind);
         }

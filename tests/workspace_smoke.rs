@@ -1,0 +1,90 @@
+//! Workspace smoke test: one construction from each crate's public API.
+//!
+//! This test exists to guard the *build system*, not the physics: if a
+//! crate manifest loses a dependency edge, an umbrella re-export breaks, or
+//! a `pub use` in a crate root is dropped, this file stops compiling (or
+//! fails loudly) before anything subtler does. Keep each section to the
+//! cheapest call that still proves the crate's public API is reachable.
+
+use std::sync::Arc;
+
+/// `sinw-device`: build an I–V lookup table and evaluate one bias point.
+#[test]
+fn device_api_reachable() {
+    use sinw_device::model::Bias;
+    use sinw_device::{DeviceDefect, GateTerminal, TigFet, TigTable};
+
+    let fet = TigFet::ideal();
+    let table = TigTable::build_coarse(&fet);
+    let on = table.current(Bias::uniform_gates(1.2, 1.2));
+    assert!(on.is_finite() && on > 0.0, "healthy ON current: {on}");
+
+    // The defect type from the crate root is the same one `model` consumes.
+    let sick = TigFet::ideal().with_defect(DeviceDefect::gos(GateTerminal::Pgs));
+    assert!(sick.drain_current(Bias::uniform_gates(1.2, 1.2)) < on);
+}
+
+/// `sinw-analog`: assemble a circuit around the device table and solve DC.
+#[test]
+fn analog_api_reachable() {
+    use sinw_analog::cells::AnalogCell;
+    use sinw_analog::circuit::Waveform;
+    use sinw_analog::solver::{dc, SolverOpts};
+    use sinw_device::{TigFet, TigTable};
+    use sinw_switch::cells::CellKind;
+
+    let table = Arc::new(TigTable::build_coarse(&TigFet::ideal()));
+    let cell = AnalogCell::build(CellKind::Inv, table, &[Waveform::Dc(0.0)]);
+    let op = dc(&cell.circuit, &SolverOpts::default()).expect("INV operating point");
+    assert!(op.v.iter().all(|v| v.is_finite()));
+}
+
+/// `sinw-switch`: build a cell and evaluate one gate vector.
+#[test]
+fn switch_api_reachable() {
+    use sinw_switch::value::Logic;
+    use sinw_switch::{Cell, CellKind, SwitchSim};
+
+    let cell = Cell::build(CellKind::Xor2);
+    assert_eq!(cell.eval(&[true, false]), Logic::One);
+
+    let mut sim = SwitchSim::new(&cell.netlist);
+    let r = sim.apply(&cell.input_assignment(&[true, true]));
+    assert!(!r.rail_short, "healthy XOR2 must not short the rails");
+}
+
+/// `sinw-atpg`: enumerate a fault list and generate one test.
+#[test]
+fn atpg_api_reachable() {
+    use sinw_atpg::{enumerate_stuck_at, generate_test, PodemConfig, PodemResult};
+    use sinw_switch::gate::Circuit;
+
+    let c17 = Circuit::c17();
+    let faults = enumerate_stuck_at(&c17);
+    assert!(!faults.is_empty(), "c17 has a non-empty fault universe");
+    match generate_test(&c17, faults[0], &PodemConfig::default()) {
+        PodemResult::Test(p) => assert_eq!(p.len(), 5),
+        other => panic!("c17 is fully testable, got {other:?}"),
+    }
+}
+
+/// `sinw-core`: run the cheapest paper driver (Table I needs no analog).
+#[test]
+fn core_api_reachable() {
+    use sinw_core::process::census;
+    use sinw_switch::cells::CellKind;
+
+    let t1 = sinw_core::experiments::Experiments::fast().table1();
+    assert_eq!(t1.cells.len(), CellKind::ALL.len());
+    assert_eq!(census(CellKind::Inv).total(), 18);
+}
+
+/// The `sinw` umbrella re-exports resolve to the same crates.
+#[test]
+fn umbrella_reexports_are_the_real_crates() {
+    let via_umbrella = sinw::switch::cells::Cell::build(sinw::switch::cells::CellKind::Maj3);
+    let direct = sinw_switch::cells::Cell::build(sinw_switch::cells::CellKind::Maj3);
+    // Same type through both paths — this line fails to compile if the
+    // umbrella ever re-exports a different crate version.
+    assert_eq!(via_umbrella.transistors.len(), direct.transistors.len());
+}
