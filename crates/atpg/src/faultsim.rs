@@ -1,15 +1,37 @@
-//! Stuck-at fault simulation: serial and 64-way bit-parallel.
+//! Stuck-at fault simulation: serial, 64-way bit-parallel, and
+//! thread-parallel PPSFP.
 //!
-//! The bit-parallel engine packs 64 fully-specified patterns into one
-//! machine word per signal and evaluates the whole block in one pass per
-//! fault (PPSFP). The serial engine simulates one pattern at a time and
-//! exists as the baseline for the ablation benchmarks.
+//! Three engines share one inner loop and report identical results:
+//!
+//! * [`simulate_faults_serial`] — one pattern at a time, the ablation
+//!   baseline;
+//! * [`simulate_faults`] — packs 64 fully-specified patterns into one
+//!   machine word per signal and evaluates a whole block per fault
+//!   (parallel-pattern single-fault propagation, PPSFP);
+//! * [`simulate_faults_threaded`] — partitions the fault list across
+//!   `std::thread::scope` workers *on top of* the 64-way blocks; the
+//!   good-machine values of every block are computed once and shared
+//!   read-only by all workers.
+//!
+//! Fault partitioning (rather than pattern partitioning) keeps workers
+//! embarrassingly parallel: a stuck-at fault's detection is independent of
+//! every other fault, so the merged report is bit-identical to the serial
+//! one — a property the test suite asserts.
 
 use crate::fault_list::{FaultSite, StuckAtFault};
 use sinw_switch::cells::CellKind;
 use sinw_switch::gate::Circuit;
 
 /// A block of up to 64 fully-specified input patterns.
+///
+/// Invariants (upheld by [`PatternBlock::try_pack`], assumed by every
+/// engine):
+///
+/// * `1 <= count <= 64`;
+/// * `words.len()` equals the circuit's primary-input count; bit `k` of
+///   `words[i]` is pattern `k`'s value for PI `i`;
+/// * bits at positions `>= count` are zero (padding patterns are all-0 and
+///   masked out of detection results by [`PatternBlock::mask`]).
 #[derive(Debug, Clone)]
 pub struct PatternBlock {
     /// One word per primary input; bit `k` is the value in pattern `k`.
@@ -18,28 +40,96 @@ pub struct PatternBlock {
     pub count: usize,
 }
 
+/// Why a slice of patterns cannot be packed into a [`PatternBlock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackError {
+    /// No patterns were supplied (a block holds 1..=64).
+    Empty,
+    /// More than 64 patterns were supplied; chunk them into blocks first
+    /// (the `simulate_faults*` drivers do this internally).
+    TooManyPatterns(usize),
+    /// A pattern's length does not match the circuit's primary-input count.
+    ArityMismatch {
+        /// Index of the offending pattern.
+        pattern: usize,
+        /// Its length.
+        got: usize,
+        /// The circuit's primary-input count.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::Empty => write!(f, "cannot pack an empty pattern block"),
+            PackError::TooManyPatterns(n) => {
+                write!(f, "a pattern block holds at most 64 patterns, got {n}")
+            }
+            PackError::ArityMismatch {
+                pattern,
+                got,
+                expected,
+            } => write!(
+                f,
+                "pattern {pattern} has {got} bits, the circuit has {expected} primary inputs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
 impl PatternBlock {
     /// Pack a slice of patterns (each a bool per PI) into a block.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more than 64 patterns are supplied or arities mismatch.
-    #[must_use]
-    pub fn pack(circuit: &Circuit, patterns: &[Vec<bool>]) -> Self {
-        assert!(!patterns.is_empty() && patterns.len() <= 64);
+    /// Returns a [`PackError`] if the slice is empty, holds more than 64
+    /// patterns, or any pattern's arity does not match the circuit.
+    pub fn try_pack(circuit: &Circuit, patterns: &[Vec<bool>]) -> Result<Self, PackError> {
+        if patterns.is_empty() {
+            return Err(PackError::Empty);
+        }
+        if patterns.len() > 64 {
+            return Err(PackError::TooManyPatterns(patterns.len()));
+        }
         let n_pi = circuit.primary_inputs().len();
         let mut words = vec![0u64; n_pi];
         for (k, p) in patterns.iter().enumerate() {
-            assert_eq!(p.len(), n_pi, "pattern arity");
+            if p.len() != n_pi {
+                return Err(PackError::ArityMismatch {
+                    pattern: k,
+                    got: p.len(),
+                    expected: n_pi,
+                });
+            }
             for (i, b) in p.iter().enumerate() {
                 if *b {
                     words[i] |= 1 << k;
                 }
             }
         }
-        PatternBlock {
+        Ok(PatternBlock {
             words,
             count: patterns.len(),
+        })
+    }
+
+    /// Pack a slice of patterns into a block.
+    ///
+    /// Panicking wrapper around [`PatternBlock::try_pack`] for tests and
+    /// hand-driven experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are supplied, none are, or arities
+    /// mismatch.
+    #[must_use]
+    pub fn pack(circuit: &Circuit, patterns: &[Vec<bool>]) -> Self {
+        match Self::try_pack(circuit, patterns) {
+            Ok(block) => block,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -69,67 +159,93 @@ fn eval_word(kind: CellKind, ins: &[u64]) -> u64 {
 #[must_use]
 pub fn good_sim(circuit: &Circuit, block: &PatternBlock) -> Vec<u64> {
     let mut values = vec![0u64; circuit.signal_count()];
+    good_sim_into(circuit, block, &mut values);
+    values
+}
+
+fn good_sim_into(circuit: &Circuit, block: &PatternBlock, values: &mut [u64]) {
     for (k, pi) in circuit.primary_inputs().iter().enumerate() {
         values[pi.0] = block.words[k];
     }
+    let mut ins = [0u64; 3];
     for gate in circuit.gates() {
-        let ins: Vec<u64> = gate.inputs.iter().map(|s| values[s.0]).collect();
-        values[gate.output.0] = eval_word(gate.kind, &ins);
+        for (k, s) in gate.inputs.iter().enumerate() {
+            ins[k] = values[s.0];
+        }
+        values[gate.output.0] = eval_word(gate.kind, &ins[..gate.inputs.len()]);
     }
-    values
 }
 
 /// Bit-parallel faulty-machine simulation under a single stuck-at fault.
 #[must_use]
 pub fn faulty_sim(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> Vec<u64> {
-    let stuck = if fault.value { u64::MAX } else { 0 };
     let mut values = vec![0u64; circuit.signal_count()];
+    faulty_sim_into(circuit, fault, block, &mut values);
+    values
+}
+
+fn faulty_sim_into(
+    circuit: &Circuit,
+    fault: StuckAtFault,
+    block: &PatternBlock,
+    values: &mut [u64],
+) {
+    let stuck = if fault.value { u64::MAX } else { 0 };
     for (k, pi) in circuit.primary_inputs().iter().enumerate() {
         values[pi.0] = block.words[k];
         if fault.site == FaultSite::Signal(*pi) {
             values[pi.0] = stuck;
         }
     }
+    let mut ins = [0u64; 3];
     for (gi, gate) in circuit.gates().iter().enumerate() {
-        let ins: Vec<u64> = gate
-            .inputs
-            .iter()
-            .enumerate()
-            .map(|(pin, s)| {
-                if fault.site == FaultSite::GatePin(sinw_switch::gate::GateId(gi), pin) {
-                    stuck
-                } else {
-                    values[s.0]
-                }
-            })
-            .collect();
-        let mut out = eval_word(gate.kind, &ins);
+        for (pin, s) in gate.inputs.iter().enumerate() {
+            ins[pin] = if fault.site == FaultSite::GatePin(sinw_switch::gate::GateId(gi), pin) {
+                stuck
+            } else {
+                values[s.0]
+            };
+        }
+        let mut out = eval_word(gate.kind, &ins[..gate.inputs.len()]);
         if fault.site == FaultSite::Signal(gate.output) {
             out = stuck;
         }
         values[gate.output.0] = out;
     }
-    values
 }
 
 /// Bitmask of the patterns in `block` that detect `fault` at some PO.
 #[must_use]
 pub fn detect_mask(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> u64 {
     let good = good_sim(circuit, block);
-    let faulty = faulty_sim(circuit, fault, block);
+    let mut scratch = vec![0u64; circuit.signal_count()];
+    detect_mask_with_good(circuit, fault, block, &good, &mut scratch)
+}
+
+/// [`detect_mask`] against a precomputed good-machine word vector,
+/// re-using `scratch` for the faulty machine — the allocation-free inner
+/// loop shared by all three engines.
+fn detect_mask_with_good(
+    circuit: &Circuit,
+    fault: StuckAtFault,
+    block: &PatternBlock,
+    good: &[u64],
+    scratch: &mut [u64],
+) -> u64 {
+    faulty_sim_into(circuit, fault, block, scratch);
     let mut mask = 0u64;
     for o in circuit.primary_outputs() {
-        mask |= good[o.0] ^ faulty[o.0];
+        mask |= good[o.0] ^ scratch[o.0];
     }
     mask & block.mask()
 }
 
 /// Result of simulating a fault list against a pattern set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSimReport {
-    /// Detected faults (indices into the input fault list).
+    /// Detected faults (indices into the input fault list, ascending).
     pub detected: Vec<usize>,
-    /// Undetected faults (indices).
+    /// Undetected faults (indices, ascending).
     pub undetected: Vec<usize>,
     /// For each pattern, how many new faults it detected (first-detection
     /// credit, in pattern order) — the fault-dropping profile.
@@ -148,40 +264,66 @@ impl FaultSimReport {
     }
 }
 
-/// Bit-parallel fault simulation of a whole fault list, with optional
-/// fault dropping (a dropped fault is not re-simulated in later blocks).
-#[must_use]
-pub fn simulate_faults(
+/// Pattern blocks plus their shared good-machine values, computed once per
+/// simulation run and shared read-only across threads.
+struct PreparedPatterns {
+    blocks: Vec<(PatternBlock, Vec<u64>)>,
+}
+
+fn prepare(circuit: &Circuit, patterns: &[Vec<bool>], block_size: usize) -> PreparedPatterns {
+    let blocks = patterns
+        .chunks(block_size)
+        .map(|chunk| {
+            let block = PatternBlock::pack(circuit, chunk);
+            let good = good_sim(circuit, &block);
+            (block, good)
+        })
+        .collect();
+    PreparedPatterns { blocks }
+}
+
+/// Core loop: for each fault in `faults`, the index of the first pattern
+/// that detects it (`None` = undetected). With `drop_detected`, a fault's
+/// remaining blocks are skipped after its first detection; without it,
+/// every block is still evaluated (the honest baseline for the dropping
+/// ablation), which does not change the result.
+fn first_detections_for(
     circuit: &Circuit,
     faults: &[StuckAtFault],
-    patterns: &[Vec<bool>],
+    prepared: &PreparedPatterns,
+    block_size: usize,
     drop_detected: bool,
-) -> FaultSimReport {
-    let mut detected_flags = vec![false; faults.len()];
-    let mut first_detections = vec![0usize; patterns.len()];
-    for (block_idx, chunk) in patterns.chunks(64).enumerate() {
-        let block = PatternBlock::pack(circuit, chunk);
-        for (fi, fault) in faults.iter().enumerate() {
-            if drop_detected && detected_flags[fi] {
-                continue;
-            }
-            let mask = detect_mask(circuit, *fault, &block);
-            if mask != 0 {
-                if !detected_flags[fi] {
-                    let first = mask.trailing_zeros() as usize;
-                    first_detections[block_idx * 64 + first] += 1;
+) -> Vec<Option<usize>> {
+    let mut scratch = vec![0u64; circuit.signal_count()];
+    faults
+        .iter()
+        .map(|&fault| {
+            let mut first: Option<usize> = None;
+            for (bi, (block, good)) in prepared.blocks.iter().enumerate() {
+                if first.is_some() && drop_detected {
+                    break;
                 }
-                detected_flags[fi] = true;
+                let mask = detect_mask_with_good(circuit, fault, block, good, &mut scratch);
+                if mask != 0 && first.is_none() {
+                    first = Some(bi * block_size + mask.trailing_zeros() as usize);
+                }
             }
-        }
-    }
+            first
+        })
+        .collect()
+}
+
+fn report_from(firsts: Vec<Option<usize>>, n_patterns: usize) -> FaultSimReport {
     let mut detected = Vec::new();
     let mut undetected = Vec::new();
-    for (fi, d) in detected_flags.iter().enumerate() {
-        if *d {
-            detected.push(fi);
-        } else {
-            undetected.push(fi);
+    let mut first_detections = vec![0usize; n_patterns];
+    for (fi, first) in firsts.iter().enumerate() {
+        match first {
+            Some(p) => {
+                detected.push(fi);
+                first_detections[*p] += 1;
+            }
+            None => undetected.push(fi),
         }
     }
     FaultSimReport {
@@ -189,6 +331,21 @@ pub fn simulate_faults(
         undetected,
         first_detections,
     }
+}
+
+/// 64-way bit-parallel fault simulation of a whole fault list, with
+/// optional fault dropping (a dropped fault is not re-simulated in later
+/// blocks).
+#[must_use]
+pub fn simulate_faults(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+) -> FaultSimReport {
+    let prepared = prepare(circuit, patterns, 64);
+    let firsts = first_detections_for(circuit, faults, &prepared, 64, drop_detected);
+    report_from(firsts, patterns.len())
 }
 
 /// Serial (one pattern at a time) fault simulation — the ablation baseline.
@@ -199,36 +356,71 @@ pub fn simulate_faults_serial(
     patterns: &[Vec<bool>],
     drop_detected: bool,
 ) -> FaultSimReport {
-    let mut detected_flags = vec![false; faults.len()];
-    let mut first_detections = vec![0usize; patterns.len()];
-    for (pi, p) in patterns.iter().enumerate() {
-        let block = PatternBlock::pack(circuit, std::slice::from_ref(p));
-        for (fi, fault) in faults.iter().enumerate() {
-            if drop_detected && detected_flags[fi] {
-                continue;
-            }
-            if detect_mask(circuit, *fault, &block) != 0 {
-                if !detected_flags[fi] {
-                    first_detections[pi] += 1;
-                }
-                detected_flags[fi] = true;
-            }
+    let prepared = prepare(circuit, patterns, 1);
+    let firsts = first_detections_for(circuit, faults, &prepared, 1, drop_detected);
+    report_from(firsts, patterns.len())
+}
+
+/// Thread-parallel PPSFP: the collapsed fault list is split into
+/// contiguous chunks, one per worker, on top of the 64-way bit-parallel
+/// blocks. `threads = 0` uses [`std::thread::available_parallelism`].
+///
+/// The report is identical to [`simulate_faults`] (and to
+/// [`simulate_faults_serial`]): stuck-at faults are independent, pattern
+/// blocks and their good-machine values are shared read-only, and chunk
+/// results are concatenated in fault order.
+#[must_use]
+pub fn simulate_faults_threaded(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    threads: usize,
+) -> FaultSimReport {
+    if faults.is_empty() {
+        return report_from(Vec::new(), patterns.len());
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+    .min(faults.len());
+    let prepared = prepare(circuit, patterns, 64);
+    let chunk = faults.len().div_ceil(threads);
+    let mut firsts: Vec<Option<usize>> = Vec::with_capacity(faults.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = faults
+            .chunks(chunk)
+            .map(|slice| {
+                let prepared = &prepared;
+                s.spawn(move || first_detections_for(circuit, slice, prepared, 64, drop_detected))
+            })
+            .collect();
+        for h in handles {
+            firsts.extend(h.join().expect("fault-sim worker panicked"));
         }
-    }
-    let mut detected = Vec::new();
-    let mut undetected = Vec::new();
-    for (fi, d) in detected_flags.iter().enumerate() {
-        if *d {
-            detected.push(fi);
-        } else {
-            undetected.push(fi);
-        }
-    }
-    FaultSimReport {
-        detected,
-        undetected,
-        first_detections,
-    }
+    });
+    report_from(firsts, patterns.len())
+}
+
+/// Deterministic random-pattern source (SplitMix64): `count` fully
+/// specified patterns over `n_pi` inputs, reproducible from `seed`.
+/// Shared by the experiment drivers, the benches and the test suites so
+/// reported coverage numbers are stable run-to-run.
+#[must_use]
+pub fn seeded_patterns(n_pi: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| (0..n_pi).map(|_| next() & 1 == 1).collect())
+        .collect()
 }
 
 /// Reverse-order test compaction: keep only the patterns that still detect
@@ -241,13 +433,15 @@ pub fn compact_reverse(
 ) -> Vec<Vec<bool>> {
     let mut kept: Vec<Vec<bool>> = Vec::new();
     let mut remaining: Vec<StuckAtFault> = faults.to_vec();
+    let mut scratch = vec![0u64; circuit.signal_count()];
     for p in patterns.iter().rev() {
         if remaining.is_empty() {
             break;
         }
         let block = PatternBlock::pack(circuit, std::slice::from_ref(p));
+        let good = good_sim(circuit, &block);
         let before = remaining.len();
-        remaining.retain(|f| detect_mask(circuit, *f, &block) == 0);
+        remaining.retain(|f| detect_mask_with_good(circuit, *f, &block, &good, &mut scratch) == 0);
         if remaining.len() < before {
             kept.push(p.clone());
         }
@@ -281,14 +475,32 @@ mod tests {
     }
 
     #[test]
-    fn serial_and_parallel_agree() {
+    fn serial_parallel_and_threaded_agree() {
         let c = Circuit::ripple_adder(3);
         let faults = enumerate_stuck_at(&c);
         let patterns = random_patterns(c.primary_inputs().len(), 100, 42);
         let par = simulate_faults(&c, &faults, &patterns, false);
         let ser = simulate_faults_serial(&c, &faults, &patterns, false);
-        assert_eq!(par.detected, ser.detected);
-        assert_eq!(par.undetected, ser.undetected);
+        let thr = simulate_faults_threaded(&c, &faults, &patterns, false, 4);
+        assert_eq!(par, ser);
+        assert_eq!(par, thr);
+    }
+
+    #[test]
+    fn threaded_engine_handles_edge_worker_counts() {
+        let c = Circuit::c17();
+        let faults = enumerate_stuck_at(&c);
+        let patterns = random_patterns(5, 16, 9);
+        let reference = simulate_faults(&c, &faults, &patterns, true);
+        // More workers than faults, exactly one worker, and auto-detect.
+        for threads in [1usize, 3, faults.len() + 10, 0] {
+            let r = simulate_faults_threaded(&c, &faults, &patterns, true, threads);
+            assert_eq!(r, reference, "threads = {threads}");
+        }
+        // Empty fault list.
+        let empty = simulate_faults_threaded(&c, &[], &patterns, true, 4);
+        assert!(empty.detected.is_empty() && empty.undetected.is_empty());
+        assert_eq!(empty.coverage(), 1.0);
     }
 
     #[test]
@@ -299,6 +511,7 @@ mod tests {
         let with_drop = simulate_faults(&c, &faults, &patterns, true);
         let without = simulate_faults(&c, &faults, &patterns, false);
         assert_eq!(with_drop.detected.len(), without.detected.len());
+        assert_eq!(with_drop.first_detections, without.first_detections);
     }
 
     #[test]
@@ -323,5 +536,31 @@ mod tests {
         let fault = StuckAtFault::sa0(FaultSite::Signal(a));
         let block = PatternBlock::pack(&c, &[vec![false], vec![true], vec![true]]);
         assert_eq!(detect_mask(&c, fault, &block), 0b110);
+    }
+
+    #[test]
+    fn try_pack_reports_each_violation() {
+        let c = Circuit::c17();
+        assert_eq!(
+            PatternBlock::try_pack(&c, &[]).unwrap_err(),
+            PackError::Empty
+        );
+        let too_many = vec![vec![false; 5]; 65];
+        assert_eq!(
+            PatternBlock::try_pack(&c, &too_many).unwrap_err(),
+            PackError::TooManyPatterns(65)
+        );
+        let bad_arity = vec![vec![false; 5], vec![true; 4]];
+        assert_eq!(
+            PatternBlock::try_pack(&c, &bad_arity).unwrap_err(),
+            PackError::ArityMismatch {
+                pattern: 1,
+                got: 4,
+                expected: 5
+            }
+        );
+        let ok = PatternBlock::try_pack(&c, &[vec![true; 5]]).expect("valid block packs");
+        assert_eq!(ok.count, 1);
+        assert_eq!(ok.mask(), 1);
     }
 }

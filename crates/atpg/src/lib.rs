@@ -6,8 +6,9 @@
 //!
 //! * [`podem`] — PODEM stuck-at test generation, with the constrained
 //!   justification mode the cell-aware flow of `sinw-core` builds on;
-//! * [`faultsim`] — serial and 64-way bit-parallel stuck-at fault
-//!   simulation with fault dropping and reverse-order compaction;
+//! * [`faultsim`] — serial, 64-way bit-parallel, and thread-parallel
+//!   (PPSFP) stuck-at fault simulation with fault dropping and
+//!   reverse-order compaction;
 //! * [`collapse`](mod@collapse) — structural fault-equivalence collapsing;
 //! * [`sof`] — classical two-pattern stuck-open generation, which covers
 //!   every break in the SP cells and *none* in the DP cells (the coverage
@@ -38,6 +39,9 @@ pub mod twin;
 
 pub use collapse::{collapse, CollapsedFaults};
 pub use fault_list::{enumerate_stuck_at, FaultSite, StuckAtFault};
-pub use faultsim::{simulate_faults, simulate_faults_serial, FaultSimReport, PatternBlock};
+pub use faultsim::{
+    seeded_patterns, simulate_faults, simulate_faults_serial, simulate_faults_threaded,
+    FaultSimReport, PackError, PatternBlock,
+};
 pub use podem::{generate_test, generate_test_constrained, justify, PodemConfig, PodemResult};
 pub use sof::{cell_sof_tests, generate_sof_test, CircuitTwoPattern, SofResult, TwoPattern};

@@ -4,10 +4,14 @@
 use proptest::prelude::*;
 use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
-use sinw_atpg::faultsim::{detect_mask, simulate_faults, simulate_faults_serial, PatternBlock};
+use sinw_atpg::faultsim::{
+    detect_mask, seeded_patterns, simulate_faults, simulate_faults_serial,
+    simulate_faults_threaded, PatternBlock,
+};
 use sinw_atpg::podem::{generate_test, PodemConfig, PodemResult};
 use sinw_switch::cells::CellKind;
 use sinw_switch::gate::{Circuit, SignalId};
+use sinw_switch::generate::{array_multiplier, carry_select_adder};
 
 /// A random DAG of library cells over `n_pi` primary inputs.
 fn random_circuit(n_pi: usize, n_gates: usize, seed: &[u8]) -> Circuit {
@@ -103,6 +107,53 @@ proptest! {
         let ser = simulate_faults_serial(&c, &faults, &patterns, false);
         prop_assert_eq!(par.detected, ser.detected);
         prop_assert_eq!(par.undetected, ser.undetected);
+    }
+
+    /// All three engines — serial, 64-way bit-parallel, thread-parallel —
+    /// report the same detected-fault set (and the same first-detection
+    /// profile) on random DAGs, with and without fault dropping, at odd
+    /// worker counts.
+    #[test]
+    fn all_three_engines_agree_on_random_circuits(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..12,
+        n_patterns in 1usize..80,
+        drop_detected in any::<bool>(),
+        threads in 1usize..7,
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let faults = enumerate_stuck_at(&c);
+        let pattern_seed = seed.iter().fold(0u64, |acc, b| (acc << 8) | u64::from(*b));
+        let patterns = seeded_patterns(5, n_patterns, pattern_seed);
+        let ser = simulate_faults_serial(&c, &faults, &patterns, drop_detected);
+        let par = simulate_faults(&c, &faults, &patterns, drop_detected);
+        let thr = simulate_faults_threaded(&c, &faults, &patterns, drop_detected, threads);
+        prop_assert_eq!(&ser, &par);
+        prop_assert_eq!(&ser, &thr);
+    }
+
+    /// Engine agreement on the *generated* benchmark structures (adders
+    /// and multipliers stress reconvergent fanout much harder than the
+    /// random DAGs above).
+    #[test]
+    fn engines_agree_on_generated_benchmarks(
+        which in 0usize..3,
+        width in 2usize..5,
+        seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let c = match which {
+            0 => Circuit::ripple_adder(width),
+            1 => carry_select_adder(width + 2, 2),
+            _ => array_multiplier(width),
+        };
+        let faults = enumerate_stuck_at(&c);
+        let patterns = seeded_patterns(c.primary_inputs().len(), 70, seed);
+        let ser = simulate_faults_serial(&c, &faults, &patterns, true);
+        let par = simulate_faults(&c, &faults, &patterns, true);
+        let thr = simulate_faults_threaded(&c, &faults, &patterns, true, threads);
+        prop_assert_eq!(&ser, &par);
+        prop_assert_eq!(&ser, &thr);
     }
 
     /// Collapsed fault classes are detection-equivalent under exhaustive

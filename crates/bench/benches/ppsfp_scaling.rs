@@ -1,0 +1,124 @@
+//! Serial vs 64-way bit-parallel vs thread-parallel PPSFP ablation on a
+//! generated array-multiplier fault universe.
+//!
+//! Knobs (environment variables):
+//!
+//! * `SINW_PPSFP_WIDTH` — multiplier operand width (default 32, i.e. a
+//!   32×32 array multiplier: ~4k cells, ~20k stuck-at faults);
+//! * `SINW_PPSFP_PATTERNS` — pattern count (default 16);
+//! * `SINW_PPSFP_THREADS` — worker count for the threaded engine
+//!   (default 0 = `std::thread::available_parallelism`).
+//!
+//! The CI bench-smoke step runs this with `SINW_PPSFP_WIDTH=4`; invoked
+//! without the `--bench` flag (e.g. `cargo test --benches`) the width also
+//! drops to 4 so smoke runs stay fast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sinw_atpg::collapse::collapse;
+use sinw_atpg::fault_list::enumerate_stuck_at;
+use sinw_atpg::faultsim::{
+    seeded_patterns, simulate_faults, simulate_faults_serial, simulate_faults_threaded,
+};
+use sinw_switch::generate::array_multiplier;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bench(c: &mut Criterion) {
+    let measuring = std::env::args().any(|a| a == "--bench");
+    let width = env_usize("SINW_PPSFP_WIDTH", if measuring { 32 } else { 4 });
+    let n_patterns = env_usize("SINW_PPSFP_PATTERNS", 16);
+    let threads = env_usize("SINW_PPSFP_THREADS", 0);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let circuit = array_multiplier(width);
+    let faults = enumerate_stuck_at(&circuit);
+    let collapsed = collapse(&circuit, &faults);
+    let patterns = seeded_patterns(
+        circuit.primary_inputs().len(),
+        n_patterns,
+        0x9E37_79B9_97F4_A7C1,
+    );
+    println!(
+        "\nPPSFP scaling ablation: {width}x{width} array multiplier — {} cells, \
+         {} faults ({} collapsed), {} patterns, {} hw threads",
+        circuit.gates().len(),
+        faults.len(),
+        collapsed.representatives.len(),
+        patterns.len(),
+        cores
+    );
+
+    // Best-of-3 wall-clock comparison (the headline artifact; the
+    // criterion samples below add statistical weight). Taking the minimum
+    // damps scheduler noise so the serial-vs-threaded assertion below
+    // cannot flake on a descheduled smoke run.
+    let reps = &collapsed.representatives;
+    let mut timed = |f: &dyn Fn() -> sinw_atpg::faultsim::FaultSimReport| {
+        let mut best = std::time::Duration::MAX;
+        let mut result = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = f();
+            best = best.min(t0.elapsed());
+            result = Some(r);
+        }
+        (result.expect("three runs"), best)
+    };
+    let (ser, t_serial) = timed(&|| simulate_faults_serial(&circuit, reps, &patterns, false));
+    let (par, t_block) = timed(&|| simulate_faults(&circuit, reps, &patterns, false));
+    let (thr, t_thread) =
+        timed(&|| simulate_faults_threaded(&circuit, reps, &patterns, false, threads));
+    assert_eq!(ser, par, "bit-parallel engine must match serial");
+    assert_eq!(ser, thr, "thread-parallel engine must match serial");
+    let speedup = |base: std::time::Duration, new: std::time::Duration| -> f64 {
+        base.as_secs_f64() / new.as_secs_f64().max(1e-12)
+    };
+    println!(
+        "  serial          {:>10.1} ms   (baseline; detected {}/{})",
+        t_serial.as_secs_f64() * 1e3,
+        ser.detected.len(),
+        reps.len()
+    );
+    println!(
+        "  bit-parallel64  {:>10.1} ms   ({:.1}x vs serial)",
+        t_block.as_secs_f64() * 1e3,
+        speedup(t_serial, t_block)
+    );
+    println!(
+        "  thread-parallel {:>10.1} ms   ({:.1}x vs serial, {:.2}x vs bit-parallel)",
+        t_thread.as_secs_f64() * 1e3,
+        speedup(t_serial, t_thread),
+        speedup(t_block, t_thread)
+    );
+    assert!(
+        t_thread < t_serial,
+        "thread-parallel PPSFP must beat the serial baseline"
+    );
+
+    c.bench_function("ppsfp/serial", |b| {
+        b.iter(|| black_box(simulate_faults_serial(&circuit, reps, &patterns, false)));
+    });
+    c.bench_function("ppsfp/bit_parallel64", |b| {
+        b.iter(|| black_box(simulate_faults(&circuit, reps, &patterns, false)));
+    });
+    c.bench_function("ppsfp/thread_parallel", |b| {
+        b.iter(|| {
+            black_box(simulate_faults_threaded(
+                &circuit, reps, &patterns, false, threads,
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -213,6 +213,19 @@ impl Experiments {
     }
 
     // ------------------------------------------------------------------
+    // Sections V–VI — stuck-at fault coverage on benchmark circuits
+    // ------------------------------------------------------------------
+
+    /// End-to-end fault-coverage run over the benchmark suite:
+    /// parse / generate → map onto the CP cell library → collapse the
+    /// stuck-at universe → thread-parallel PPSFP → coverage report.
+    /// Delegates to [`fault_coverage`] with this context's fidelity.
+    #[must_use]
+    pub fn fault_coverage(&self) -> FaultCoverageResult {
+        fault_coverage(self.fast)
+    }
+
+    // ------------------------------------------------------------------
     // Table I — process steps and defect census
     // ------------------------------------------------------------------
 
@@ -652,6 +665,181 @@ impl fmt::Display for Sec5cResult {
         }
         Ok(())
     }
+}
+
+// ----------------------------------------------------------------------
+// Benchmark fault coverage (Sections V–VI workloads)
+// ----------------------------------------------------------------------
+
+/// One benchmark's trip through the parse → map → collapse → simulate
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct FaultCoverageRow {
+    /// Benchmark name (`c17`, `csa16`, `mul8`, …).
+    pub name: String,
+    /// `"bench"` for parsed `.bench` fixtures, `"gen"` for parametric
+    /// generators.
+    pub source: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Cell instances after mapping onto the CP library.
+    pub cells: usize,
+    /// Size of the full single-stuck-at universe.
+    pub faults: usize,
+    /// Representatives after structural equivalence collapsing.
+    pub collapsed: usize,
+    /// Patterns applied (exhaustive when the PI count allows, seeded
+    /// random otherwise).
+    pub patterns: usize,
+    /// Whether the pattern set was exhaustive.
+    pub exhaustive: bool,
+    /// Detected representatives.
+    pub detected: usize,
+    /// Fault coverage over the collapsed universe, in [0, 1].
+    pub coverage: f64,
+    /// 1 + index of the last pattern that detected a new fault (the
+    /// useful prefix of the test set under fault dropping).
+    pub effective_test_length: usize,
+}
+
+/// Result of [`fault_coverage`]: one row per benchmark.
+#[derive(Debug, Clone)]
+pub struct FaultCoverageResult {
+    /// Per-benchmark rows.
+    pub rows: Vec<FaultCoverageRow>,
+}
+
+impl FaultCoverageResult {
+    /// Row lookup by benchmark name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&FaultCoverageRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for FaultCoverageResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Benchmark fault coverage (collapsed stuck-at universe, thread-parallel PPSFP)"
+        )?;
+        writeln!(
+            f,
+            "  circuit  src    PI   PO  cells  faults  collapsed  patterns  detected  coverage  eff.len"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:7}  {:5} {:>3}  {:>3}  {:>5}  {:>6}  {:>9}  {:>5}{:3}  {:>8}  {:>7.2}%  {:>7}",
+                r.name,
+                r.source,
+                r.inputs,
+                r.outputs,
+                r.cells,
+                r.faults,
+                r.collapsed,
+                r.patterns,
+                if r.exhaustive { "(x)" } else { "(r)" },
+                r.detected,
+                100.0 * r.coverage,
+                r.effective_test_length
+            )?;
+        }
+        writeln!(
+            f,
+            "  (x) exhaustive pattern set, (r) seeded random patterns"
+        )?;
+        Ok(())
+    }
+}
+
+/// Deterministic per-benchmark pattern source: exhaustive for narrow
+/// circuits, otherwise [`sinw_atpg::faultsim::seeded_patterns`] keyed by
+/// an FNV-1a hash of the benchmark name.
+fn benchmark_patterns(
+    circuit: &sinw_switch::gate::Circuit,
+    name: &str,
+    fast: bool,
+) -> (Vec<Vec<bool>>, bool) {
+    let n_pi = circuit.primary_inputs().len();
+    if n_pi <= 10 {
+        let patterns = (0..(1u32 << n_pi))
+            .map(|bits| (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect())
+            .collect();
+        return (patterns, true);
+    }
+    let cap = if fast { 256 } else { 1024 };
+    let count = (16 * n_pi).min(cap);
+    let seed = 0x5EED_0B1A_u64
+        ^ name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+    (
+        sinw_atpg::faultsim::seeded_patterns(n_pi, count, seed),
+        false,
+    )
+}
+
+/// The benchmark suite: embedded `.bench` fixtures (parsed and mapped
+/// onto the CP cell library) followed by the parametric generators.
+#[must_use]
+pub fn benchmark_suite(fast: bool) -> Vec<(String, &'static str, sinw_switch::gate::Circuit)> {
+    let mut suite = Vec::new();
+    for (name, text) in sinw_switch::iscas::embedded_benchmarks() {
+        let circuit = sinw_switch::iscas::parse_bench(text)
+            .unwrap_or_else(|e| panic!("embedded fixture {name} must parse: {e}"));
+        suite.push((name.to_string(), "bench", circuit));
+    }
+    for (name, circuit) in sinw_switch::generate::generated_suite(fast) {
+        suite.push((name, "gen", circuit));
+    }
+    suite
+}
+
+/// End-to-end stuck-at coverage over [`benchmark_suite`]: enumerate the
+/// fault universe, collapse it, run thread-parallel PPSFP (auto worker
+/// count) with fault dropping, and report per-benchmark coverage.
+///
+/// `fast` shrinks the generated circuits and the random-pattern budget
+/// for test runs.
+#[must_use]
+pub fn fault_coverage(fast: bool) -> FaultCoverageResult {
+    use sinw_atpg::collapse::collapse;
+    use sinw_atpg::fault_list::enumerate_stuck_at;
+    use sinw_atpg::faultsim::simulate_faults_threaded;
+
+    let rows = benchmark_suite(fast)
+        .into_iter()
+        .map(|(name, source, circuit)| {
+            let faults = enumerate_stuck_at(&circuit);
+            let collapsed = collapse(&circuit, &faults);
+            let (patterns, exhaustive) = benchmark_patterns(&circuit, &name, fast);
+            let report =
+                simulate_faults_threaded(&circuit, &collapsed.representatives, &patterns, true, 0);
+            let effective_test_length = report
+                .first_detections
+                .iter()
+                .rposition(|n| *n > 0)
+                .map_or(0, |p| p + 1);
+            FaultCoverageRow {
+                name,
+                source,
+                inputs: circuit.primary_inputs().len(),
+                outputs: circuit.primary_outputs().len(),
+                cells: circuit.gates().len(),
+                faults: faults.len(),
+                collapsed: collapsed.representatives.len(),
+                patterns: patterns.len(),
+                exhaustive,
+                detected: report.detected.len(),
+                coverage: report.coverage(),
+                effective_test_length,
+            }
+        })
+        .collect();
+    FaultCoverageResult { rows }
 }
 
 /// Render the XOR2 dictionary in the paper's Table III layout.

@@ -22,7 +22,9 @@
 //! * [`cell_aware`] — lifting cell-level tests to circuit level with the
 //!   constrained-PODEM engine of `sinw-atpg`;
 //! * [`experiments`] — one driver per table/figure of the paper,
-//!   consumed by the benches, the examples and EXPERIMENTS.md.
+//!   consumed by the benches, the examples and EXPERIMENTS.md, plus the
+//!   [`experiments::fault_coverage`] end-to-end run over the benchmark
+//!   suite (embedded `.bench` fixtures and parametric generators).
 //!
 //! ```
 //! use sinw_core::cbreak::{dual_rail_test, run_dual_rail_test, Verdict};
@@ -48,5 +50,6 @@ pub mod process;
 
 pub use cbreak::{dual_rail_test, run_dual_rail_test, DualRailTest, Verdict};
 pub use dictionary::{build_dictionary, CellDictionary, DictionaryEntry};
+pub use experiments::{fault_coverage, FaultCoverageResult, FaultCoverageRow};
 pub use fault_model::{classify, CellClassification, DefectClassification, FaultModel};
 pub use process::{census, enumerate_defects, DefectClass, PhysicalDefect, ProcessStep};

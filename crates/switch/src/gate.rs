@@ -19,6 +19,40 @@ pub struct SignalId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GateId(pub usize);
 
+/// Error raised by the fallible [`Circuit`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate was given the wrong number of inputs for its cell kind.
+    ArityMismatch {
+        /// The cell kind being instantiated.
+        kind: CellKind,
+        /// Inputs supplied.
+        got: usize,
+        /// Inputs the cell takes.
+        expected: usize,
+    },
+    /// A gate input refers to a signal that does not exist (yet) — gates
+    /// must be added in topological order.
+    UnknownSignal(SignalId),
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::ArityMismatch {
+                kind,
+                got,
+                expected,
+            } => write!(f, "{kind} takes {expected} inputs, got {got}"),
+            CircuitError::UnknownSignal(s) => {
+                write!(f, "gate input refers to unknown signal #{}", s.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
 /// One cell instance.
 #[derive(Debug, Clone)]
 pub struct GateInstance {
@@ -59,24 +93,33 @@ impl Circuit {
         id
     }
 
-    /// Add a gate; its inputs must already exist (keeps the gate list in
-    /// topological order). Returns the new output signal.
+    /// Add a gate, rejecting arity mismatches and dangling inputs.
     ///
-    /// # Panics
+    /// Gate inputs must already exist — this keeps the gate list in
+    /// topological order, which every simulator in the workspace relies on.
+    /// Returns the new output signal.
     ///
-    /// Panics if the input arity does not match the cell kind.
-    pub fn add_gate(
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ArityMismatch`] if the number of inputs does
+    /// not match the cell kind, and [`CircuitError::UnknownSignal`] if an
+    /// input id is out of range.
+    pub fn try_add_gate(
         &mut self,
         kind: CellKind,
         name: impl Into<String>,
         inputs: &[SignalId],
-    ) -> SignalId {
-        assert_eq!(
-            inputs.len(),
-            kind.input_count(),
-            "{kind} takes {} inputs",
-            kind.input_count()
-        );
+    ) -> Result<SignalId, CircuitError> {
+        if inputs.len() != kind.input_count() {
+            return Err(CircuitError::ArityMismatch {
+                kind,
+                got: inputs.len(),
+                expected: kind.input_count(),
+            });
+        }
+        if let Some(bad) = inputs.iter().find(|s| s.0 >= self.signal_names.len()) {
+            return Err(CircuitError::UnknownSignal(*bad));
+        }
         let name = name.into();
         let output = SignalId(self.signal_names.len());
         self.signal_names.push(format!("{name}.out"));
@@ -87,7 +130,30 @@ impl Circuit {
             inputs: inputs.to_vec(),
             output,
         });
-        output
+        Ok(output)
+    }
+
+    /// Add a gate; its inputs must already exist (keeps the gate list in
+    /// topological order). Returns the new output signal.
+    ///
+    /// Panicking wrapper around [`Circuit::try_add_gate`] for hand-built
+    /// circuits and the parametric generators, where a mismatch is a
+    /// programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input arity does not match the cell kind or an input
+    /// signal does not exist.
+    pub fn add_gate(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: &[SignalId],
+    ) -> SignalId {
+        match self.try_add_gate(kind, name, inputs) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Mark a signal as a primary output.
@@ -145,6 +211,24 @@ impl Circuit {
     #[must_use]
     pub fn signal_name(&self, sig: SignalId) -> &str {
         &self.signal_names[sig.0]
+    }
+
+    /// Look a signal up by name (first match; names are labels, uniqueness
+    /// is the builder's responsibility — the `.bench` frontend guarantees
+    /// it for parsed circuits).
+    #[must_use]
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.signal_names
+            .iter()
+            .position(|n| n == name)
+            .map(SignalId)
+    }
+
+    /// Rename a signal. Used by the `.bench` frontend so the cell driving a
+    /// named benchmark net carries that net's name instead of the
+    /// auto-generated `<instance>.out` label.
+    pub fn set_signal_name(&mut self, sig: SignalId, name: impl Into<String>) {
+        self.signal_names[sig.0] = name.into();
     }
 
     /// Three-valued functional simulation; `inputs` are the PI values in

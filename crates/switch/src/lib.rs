@@ -36,13 +36,17 @@
 pub mod cells;
 pub mod fault;
 pub mod gate;
+pub mod generate;
+pub mod iscas;
 pub mod netlist;
 pub mod sim;
 pub mod value;
 
 pub use cells::{Cell, CellKind};
 pub use fault::{FaultSet, NetFault, TransistorFault};
-pub use gate::{Circuit, FlatCircuit, GateId, SignalId};
-pub use netlist::{GateRole, NetId, NetKind, Netlist, TransistorId};
+pub use gate::{Circuit, CircuitError, FlatCircuit, GateId, SignalId};
+pub use generate::{array_multiplier, carry_select_adder, generated_suite};
+pub use iscas::{parse_bench, to_bench, BenchParseError};
+pub use netlist::{GateRole, NetId, NetKind, Netlist, NetlistError, TransistorId};
 pub use sim::{SimResult, SwitchSim};
 pub use value::{Logic, Signal, Strength};

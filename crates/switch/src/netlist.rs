@@ -125,6 +125,23 @@ pub fn conduction_rule(cg: Logic, pgs: Logic, pgd: Logic) -> Conduction {
     }
 }
 
+/// Error raised by the fallible [`Netlist`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net of the same name already exists.
+    DuplicateNet(String),
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(name) => write!(f, "duplicate net name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
 /// A transistor-level netlist.
 #[derive(Debug, Clone, Default)]
 pub struct Netlist {
@@ -139,19 +156,40 @@ impl Netlist {
         Self::default()
     }
 
+    /// Add a net, rejecting duplicate names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if a net of the same name
+    /// already exists — net names are the lookup key of [`Netlist::find_net`]
+    /// and must stay unique.
+    pub fn try_add_net(
+        &mut self,
+        name: impl Into<String>,
+        kind: NetKind,
+    ) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.find_net(&name).is_some() {
+            return Err(NetlistError::DuplicateNet(name));
+        }
+        self.nets.push(Net { name, kind });
+        Ok(NetId(self.nets.len() - 1))
+    }
+
     /// Add a net; names must be unique.
+    ///
+    /// Panicking wrapper around [`Netlist::try_add_net`] for hand-assembled
+    /// netlists (cell builders, tests) where a duplicate is a programming
+    /// error.
     ///
     /// # Panics
     ///
     /// Panics if a net of the same name already exists.
     pub fn add_net(&mut self, name: impl Into<String>, kind: NetKind) -> NetId {
-        let name = name.into();
-        assert!(
-            self.find_net(&name).is_none(),
-            "duplicate net name {name:?}"
-        );
-        self.nets.push(Net { name, kind });
-        NetId(self.nets.len() - 1)
+        match self.try_add_net(name, kind) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Add a transistor.

@@ -1,0 +1,14 @@
+//! End-to-end benchmark fault coverage: parse / generate every benchmark,
+//! map it onto the CP cell library, collapse the stuck-at universe, run
+//! thread-parallel PPSFP, and print the coverage table.
+//!
+//! ```text
+//! cargo run --release --example fault_coverage          # full widths
+//! cargo run --release --example fault_coverage -- --fast
+//! ```
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let result = sinw::core::experiments::fault_coverage(fast);
+    print!("{result}");
+}

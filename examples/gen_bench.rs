@@ -1,0 +1,61 @@
+//! Emit a parametric benchmark circuit as ISCAS-85 `.bench` text.
+//!
+//! This is the tool that produced the embedded `csa16` fixture of
+//! `sinw-switch`; use it to cut new workloads for the fault-coverage
+//! experiments:
+//!
+//! ```text
+//! cargo run --example gen_bench -- csa 16 4   # carry-select adder
+//! cargo run --example gen_bench -- rca 8      # ripple-carry adder
+//! cargo run --example gen_bench -- mul 4      # array multiplier
+//! cargo run --example gen_bench -- par 32     # parity tree
+//! ```
+//!
+//! The text goes to stdout; redirect it into a file and feed it back with
+//! `sinw::switch::iscas::parse_bench`.
+
+use sinw::switch::gate::Circuit;
+use sinw::switch::generate::{array_multiplier, carry_select_adder};
+use sinw::switch::iscas::to_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: gen_bench <rca|csa|mul|par> <width> [block]";
+    let (family, rest) = args.split_first().unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    });
+    let width: usize = rest
+        .first()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        });
+    let (title, circuit) = match family.as_str() {
+        "rca" => (
+            format!("rca{width} — {width}-bit ripple-carry adder"),
+            Circuit::ripple_adder(width),
+        ),
+        "csa" => {
+            let block: usize = rest.get(1).and_then(|b| b.parse().ok()).unwrap_or(4);
+            (
+                format!("csa{width} — {width}-bit carry-select adder ({block}-bit blocks)"),
+                carry_select_adder(width, block),
+            )
+        }
+        "mul" => (
+            format!("mul{width} — {width}x{width} array multiplier"),
+            array_multiplier(width),
+        ),
+        "par" => (
+            format!("par{width} — {width}-input parity tree"),
+            Circuit::parity_tree(width),
+        ),
+        other => {
+            eprintln!("unknown family {other:?}; {usage}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", to_bench(&circuit, &title));
+}
