@@ -62,7 +62,7 @@ pub fn enumerate_stuck_at(circuit: &Circuit) -> Vec<StuckAtFault> {
         faults.push(StuckAtFault::sa1(FaultSite::Signal(sig)));
         let fanout = circuit.fanout(sig);
         if fanout.len() > 1 {
-            for (g, pin) in fanout {
+            for &(g, pin) in fanout {
                 faults.push(StuckAtFault::sa0(FaultSite::GatePin(g, pin)));
                 faults.push(StuckAtFault::sa1(FaultSite::GatePin(g, pin)));
             }

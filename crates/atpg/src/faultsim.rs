@@ -1,5 +1,6 @@
 //! Stuck-at fault simulation: serial, 64-way bit-parallel, and
-//! thread-parallel PPSFP.
+//! thread-parallel PPSFP, all on an event-driven, fanout-cone-restricted
+//! inner kernel.
 //!
 //! Three engines share one inner loop and report identical results:
 //!
@@ -13,14 +14,43 @@
 //!   good-machine values of every block are computed once and shared
 //!   read-only by all workers.
 //!
+//! # The event-driven kernel
+//!
+//! A stuck-at fault can only disturb its transitive fanout cone, and in
+//! ISCAS-style circuits that cone is usually a small fraction of the
+//! netlist. The faulty pass therefore does **not** re-evaluate the whole
+//! circuit per fault × block. Instead it runs over a shared
+//! [`SimGraph`] precompute (levelized topological
+//! order + CSR fanout + PO-reachability masks, built once per
+//! `simulate_faults*` call):
+//!
+//! 1. seed a level-ordered worklist at the fault site — bailing out
+//!    immediately when the stuck word equals the good word (no pattern
+//!    disturbed) or the site cannot reach any primary output;
+//! 2. evaluate only gates reached by an event, reading un-disturbed inputs
+//!    straight from the shared good-machine words; a gate whose output
+//!    word comes out unchanged kills its event;
+//! 3. OR primary-output differences into the detection mask as events
+//!    reach them, and short-circuit the whole pass the moment the mask
+//!    saturates the block's valid-pattern bits.
+//!
+//! Per-fault state lives in a [`FaultSimScratch`]: faulty words are
+//! validated by an epoch stamp instead of being cleared or re-cloned, so a
+//! pass is allocation-free and costs O(disturbed region), not O(circuit).
+//!
+//! The pre-existing whole-circuit pass is retained as
+//! [`simulate_faults_full_pass`] — it is the property-test oracle and the
+//! baseline of the `ppsfp_scaling` full-pass-vs-event-driven ablation.
+//!
 //! Fault partitioning (rather than pattern partitioning) keeps workers
 //! embarrassingly parallel: a stuck-at fault's detection is independent of
 //! every other fault, so the merged report is bit-identical to the serial
 //! one — a property the test suite asserts.
 
 use crate::fault_list::{FaultSite, StuckAtFault};
+use crate::graph::SimGraph;
 use sinw_switch::cells::CellKind;
-use sinw_switch::gate::Circuit;
+use sinw_switch::gate::{Circuit, GateId};
 
 /// A block of up to 64 fully-specified input patterns.
 ///
@@ -176,7 +206,9 @@ fn good_sim_into(circuit: &Circuit, block: &PatternBlock, values: &mut [u64]) {
     }
 }
 
-/// Bit-parallel faulty-machine simulation under a single stuck-at fault.
+/// Bit-parallel faulty-machine simulation under a single stuck-at fault
+/// (whole-circuit pass; the event-driven kernel inside the engines only
+/// materialises the disturbed region).
 #[must_use]
 pub fn faulty_sim(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> Vec<u64> {
     let mut values = vec![0u64; circuit.signal_count()];
@@ -200,7 +232,7 @@ fn faulty_sim_into(
     let mut ins = [0u64; 3];
     for (gi, gate) in circuit.gates().iter().enumerate() {
         for (pin, s) in gate.inputs.iter().enumerate() {
-            ins[pin] = if fault.site == FaultSite::GatePin(sinw_switch::gate::GateId(gi), pin) {
+            ins[pin] = if fault.site == FaultSite::GatePin(GateId(gi), pin) {
                 stuck
             } else {
                 values[s.0]
@@ -214,18 +246,249 @@ fn faulty_sim_into(
     }
 }
 
-/// Bitmask of the patterns in `block` that detect `fault` at some PO.
-#[must_use]
-pub fn detect_mask(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> u64 {
-    let good = good_sim(circuit, block);
-    let mut scratch = vec![0u64; circuit.signal_count()];
-    detect_mask_with_good(circuit, fault, block, &good, &mut scratch)
+// ----------------------------------------------------------------------
+// Per-worker scratch and the event-driven kernel
+// ----------------------------------------------------------------------
+
+/// Reusable per-worker buffers for fault-simulation passes.
+///
+/// Holds the faulty-word scratch, the epoch-validated dirty marks, the
+/// per-level worklist buckets of the event-driven kernel, and the
+/// good/faulty vectors used by [`detect_mask_in`]. Buffers grow lazily to
+/// the largest circuit seen and are never shrunk or cleared: a pass
+/// invalidates previous state by bumping an epoch stamp, so reuse is
+/// allocation-free.
+///
+/// One scratch serves one thread; every engine creates one per worker.
+#[derive(Debug, Default)]
+pub struct FaultSimScratch {
+    /// Good-machine words for [`detect_mask_in`].
+    good: Vec<u64>,
+    /// Faulty words, valid only where `stamp[sig] == epoch`.
+    faulty: Vec<u64>,
+    /// Per-signal dirty mark (epoch at which `faulty` was written).
+    stamp: Vec<u32>,
+    /// Per-gate enqueued mark for the current pass.
+    queued: Vec<u32>,
+    /// Per-level worklist buckets, indexed by gate level.
+    buckets: Vec<Vec<u32>>,
+    /// Current pass number; bumping it invalidates all stamps at once.
+    epoch: u32,
 }
 
-/// [`detect_mask`] against a precomputed good-machine word vector,
-/// re-using `scratch` for the faulty machine — the allocation-free inner
-/// loop shared by all three engines.
-fn detect_mask_with_good(
+impl FaultSimScratch {
+    /// An empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the per-signal buffers to cover `n` signals.
+    fn ensure_signals(&mut self, n: usize) {
+        if self.faulty.len() < n {
+            self.good.resize(n, 0);
+            self.faulty.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Grow every buffer the event kernel touches for `graph`.
+    fn ensure_graph(&mut self, graph: &SimGraph) {
+        self.ensure_signals(graph.signal_count());
+        if self.queued.len() < graph.gate_count() {
+            self.queued.resize(graph.gate_count(), 0);
+        }
+        if self.buckets.len() < graph.level_count() {
+            self.buckets.resize_with(graph.level_count(), Vec::new);
+        }
+    }
+
+    /// Start a new pass: bump the epoch, handling the (once per 2³²
+    /// passes) wrap-around by re-zeroing the stamps.
+    fn begin_pass(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.queued.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
+    /// Enqueue a gate for the current pass (deduplicated), widening the
+    /// active level range.
+    #[inline]
+    fn enqueue(&mut self, graph: &SimGraph, gate: u32, epoch: u32, lo: &mut usize, hi: &mut usize) {
+        let g = gate as usize;
+        if self.queued[g] == epoch {
+            return;
+        }
+        self.queued[g] = epoch;
+        let lvl = graph.gate_level(GateId(g));
+        self.buckets[lvl].push(gate);
+        *lo = (*lo).min(lvl);
+        *hi = (*hi).max(lvl);
+    }
+}
+
+/// The event-driven faulty pass: detection mask of `fault` over one
+/// pattern block, given the block's good-machine words.
+///
+/// Work is proportional to the disturbed part of the fault's fanout cone.
+/// `scratch` must have been sized by `ensure_graph` for `graph`.
+fn event_detect_mask(
+    graph: &SimGraph,
+    fault: StuckAtFault,
+    block_mask: u64,
+    good: &[u64],
+    scratch: &mut FaultSimScratch,
+) -> u64 {
+    let stuck = if fault.value { u64::MAX } else { 0 };
+    let epoch = scratch.begin_pass();
+    let mut detect = 0u64;
+    let (mut lo, mut hi) = (usize::MAX, 0usize);
+
+    // Seed the worklist at the fault site. Two cheap proofs of
+    // undetectability short-circuit the whole pass: the stuck word equals
+    // the good word (no pattern in the block excites the fault), or no
+    // primary output is reachable from the site.
+    match fault.site {
+        FaultSite::Signal(s) => {
+            if graph.po_reach(s) == 0 || good[s.0] == stuck {
+                return 0;
+            }
+            scratch.faulty[s.0] = stuck;
+            scratch.stamp[s.0] = epoch;
+            if graph.po_bit(s) != 0 {
+                detect |= (good[s.0] ^ stuck) & block_mask;
+                if detect == block_mask {
+                    return detect;
+                }
+            }
+            for &g in graph.consumers(s) {
+                scratch.enqueue(graph, g, epoch, &mut lo, &mut hi);
+            }
+        }
+        FaultSite::GatePin(g, pin) => {
+            let out = graph.gate_output(g);
+            let in_sig = graph.gate_inputs(g)[pin] as usize;
+            if graph.po_reach(out) == 0 || good[in_sig] == stuck {
+                return 0;
+            }
+            scratch.enqueue(graph, g.0 as u32, epoch, &mut lo, &mut hi);
+        }
+    }
+    if lo == usize::MAX {
+        // Fanout-free fault site (e.g. a stem that is itself a PO).
+        return detect;
+    }
+
+    // Drain levels in ascending order. Events only ever flow to strictly
+    // higher levels, so each gate is evaluated at most once per pass and
+    // reads final faulty input words.
+    let mut lvl = lo;
+    while lvl <= hi {
+        let mut bucket = std::mem::take(&mut scratch.buckets[lvl]);
+        for &gi in &bucket {
+            let gate = GateId(gi as usize);
+            let gate_ins = graph.gate_inputs(gate);
+            let mut ins = [0u64; 3];
+            for (pin, &s) in gate_ins.iter().enumerate() {
+                let s = s as usize;
+                ins[pin] = if scratch.stamp[s] == epoch {
+                    scratch.faulty[s]
+                } else {
+                    good[s]
+                };
+            }
+            if let FaultSite::GatePin(fg, fpin) = fault.site {
+                if fg == gate {
+                    ins[fpin] = stuck;
+                }
+            }
+            let out = eval_word(graph.kind(gate), &ins[..gate_ins.len()]);
+            let osig = graph.gate_output(gate);
+            let o = osig.0;
+            let cur = if scratch.stamp[o] == epoch {
+                scratch.faulty[o]
+            } else {
+                good[o]
+            };
+            if out == cur {
+                continue; // the event dies here
+            }
+            scratch.faulty[o] = out;
+            scratch.stamp[o] = epoch;
+            if graph.po_bit(osig) != 0 {
+                detect |= (out ^ good[o]) & block_mask;
+                if detect == block_mask {
+                    // Saturated: every valid pattern already detects the
+                    // fault, so the rest of the cone cannot change the
+                    // answer. Clear the pending buckets and stop.
+                    bucket.clear();
+                    scratch.buckets[lvl] = bucket;
+                    for b in &mut scratch.buckets[lvl + 1..=hi] {
+                        b.clear();
+                    }
+                    return detect;
+                }
+            }
+            if graph.po_reach(osig) != 0 {
+                for &g in graph.consumers(osig) {
+                    debug_assert!(graph.gate_level(GateId(g as usize)) > lvl);
+                    scratch.enqueue(graph, g, epoch, &mut lo, &mut hi);
+                }
+            }
+        }
+        bucket.clear();
+        scratch.buckets[lvl] = bucket;
+        lvl += 1;
+    }
+    detect
+}
+
+// ----------------------------------------------------------------------
+// Detection masks
+// ----------------------------------------------------------------------
+
+/// Bitmask of the patterns in `block` that detect `fault` at some PO.
+///
+/// Convenience wrapper over [`detect_mask_in`] that allocates a fresh
+/// [`FaultSimScratch`]; callers probing many faults should hold a scratch
+/// and call [`detect_mask_in`] directly (or use a `simulate_faults*`
+/// engine, which amortises the graph precompute too).
+#[must_use]
+pub fn detect_mask(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> u64 {
+    let mut scratch = FaultSimScratch::new();
+    detect_mask_in(circuit, fault, block, &mut scratch)
+}
+
+/// [`detect_mask`] with caller-owned buffers: good and faulty machines are
+/// simulated into `scratch`, so repeated calls are allocation-free.
+///
+/// This runs the whole-circuit reference pass (one fault, one block —
+/// nothing to amortise a [`SimGraph`] over); the
+/// engines use the event-driven kernel.
+#[must_use]
+pub fn detect_mask_in(
+    circuit: &Circuit,
+    fault: StuckAtFault,
+    block: &PatternBlock,
+    scratch: &mut FaultSimScratch,
+) -> u64 {
+    scratch.ensure_signals(circuit.signal_count());
+    good_sim_into(circuit, block, &mut scratch.good);
+    let FaultSimScratch { good, faulty, .. } = scratch;
+    full_pass_detect_mask(circuit, fault, block, good, faulty)
+}
+
+/// The retained full-pass reference: faulty-simulate the *whole* circuit
+/// against precomputed good-machine words and OR the PO differences.
+///
+/// Kept as the oracle the event-driven kernel is property-tested against,
+/// and as the baseline of the `ppsfp_scaling` ablation (via
+/// [`simulate_faults_full_pass`]).
+fn full_pass_detect_mask(
     circuit: &Circuit,
     fault: StuckAtFault,
     block: &PatternBlock,
@@ -282,19 +545,23 @@ fn prepare(circuit: &Circuit, patterns: &[Vec<bool>], block_size: usize) -> Prep
     PreparedPatterns { blocks }
 }
 
-/// Core loop: for each fault in `faults`, the index of the first pattern
-/// that detects it (`None` = undetected). With `drop_detected`, a fault's
-/// remaining blocks are skipped after its first detection; without it,
-/// every block is still evaluated (the honest baseline for the dropping
-/// ablation), which does not change the result.
-fn first_detections_for(
-    circuit: &Circuit,
+/// Core loop skeleton shared by the event-driven engines and the
+/// full-pass oracle: for each fault in `faults`, the index of the first
+/// pattern that detects it (`None` = undetected). With `drop_detected`, a
+/// fault's remaining blocks are skipped after its first detection;
+/// without it, every block is still evaluated (the honest baseline for
+/// the dropping ablation), which does not change the result.
+///
+/// `mask_of` computes the per-(fault, block) detection mask — the only
+/// thing the engine variants differ in, so dropping and first-index
+/// semantics cannot silently diverge between the oracle and the kernel.
+fn first_detections_with(
     faults: &[StuckAtFault],
     prepared: &PreparedPatterns,
     block_size: usize,
     drop_detected: bool,
+    mut mask_of: impl FnMut(StuckAtFault, &PatternBlock, &[u64]) -> u64,
 ) -> Vec<Option<usize>> {
-    let mut scratch = vec![0u64; circuit.signal_count()];
     faults
         .iter()
         .map(|&fault| {
@@ -303,7 +570,7 @@ fn first_detections_for(
                 if first.is_some() && drop_detected {
                     break;
                 }
-                let mask = detect_mask_with_good(circuit, fault, block, good, &mut scratch);
+                let mask = mask_of(fault, block, good);
                 if mask != 0 && first.is_none() {
                     first = Some(bi * block_size + mask.trailing_zeros() as usize);
                 }
@@ -311,6 +578,22 @@ fn first_detections_for(
             first
         })
         .collect()
+}
+
+/// [`first_detections_with`] on the event-driven kernel, with a fresh
+/// per-worker scratch.
+fn first_detections_for(
+    graph: &SimGraph,
+    faults: &[StuckAtFault],
+    prepared: &PreparedPatterns,
+    block_size: usize,
+    drop_detected: bool,
+) -> Vec<Option<usize>> {
+    let mut scratch = FaultSimScratch::new();
+    scratch.ensure_graph(graph);
+    first_detections_with(faults, prepared, block_size, drop_detected, {
+        |fault, block, good| event_detect_mask(graph, fault, block.mask(), good, &mut scratch)
+    })
 }
 
 fn report_from(firsts: Vec<Option<usize>>, n_patterns: usize) -> FaultSimReport {
@@ -335,7 +618,8 @@ fn report_from(firsts: Vec<Option<usize>>, n_patterns: usize) -> FaultSimReport 
 
 /// 64-way bit-parallel fault simulation of a whole fault list, with
 /// optional fault dropping (a dropped fault is not re-simulated in later
-/// blocks).
+/// blocks). The inner loop is the event-driven kernel over a
+/// [`SimGraph`] built once per call.
 #[must_use]
 pub fn simulate_faults(
     circuit: &Circuit,
@@ -344,11 +628,35 @@ pub fn simulate_faults(
     drop_detected: bool,
 ) -> FaultSimReport {
     let prepared = prepare(circuit, patterns, 64);
-    let firsts = first_detections_for(circuit, faults, &prepared, 64, drop_detected);
+    let graph = SimGraph::build(circuit);
+    let firsts = first_detections_for(&graph, faults, &prepared, 64, drop_detected);
     report_from(firsts, patterns.len())
 }
 
-/// Serial (one pattern at a time) fault simulation — the ablation baseline.
+/// 64-way bit-parallel fault simulation on the retained **full-pass**
+/// inner loop: every gate in the circuit is re-evaluated for every fault ×
+/// block, with no event scheduling.
+///
+/// This is the ablation baseline of `cargo bench --bench ppsfp_scaling`
+/// and the oracle the property suites pit the event-driven engines
+/// against; it reports bit-identically to [`simulate_faults`].
+#[must_use]
+pub fn simulate_faults_full_pass(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+) -> FaultSimReport {
+    let prepared = prepare(circuit, patterns, 64);
+    let mut scratch = vec![0u64; circuit.signal_count()];
+    let firsts = first_detections_with(faults, &prepared, 64, drop_detected, {
+        |fault, block, good| full_pass_detect_mask(circuit, fault, block, good, &mut scratch)
+    });
+    report_from(firsts, patterns.len())
+}
+
+/// Serial (one pattern at a time) fault simulation — the ablation baseline
+/// for bit-parallelism; the inner loop is still event-driven.
 #[must_use]
 pub fn simulate_faults_serial(
     circuit: &Circuit,
@@ -357,7 +665,8 @@ pub fn simulate_faults_serial(
     drop_detected: bool,
 ) -> FaultSimReport {
     let prepared = prepare(circuit, patterns, 1);
-    let firsts = first_detections_for(circuit, faults, &prepared, 1, drop_detected);
+    let graph = SimGraph::build(circuit);
+    let firsts = first_detections_for(&graph, faults, &prepared, 1, drop_detected);
     report_from(firsts, patterns.len())
 }
 
@@ -365,10 +674,12 @@ pub fn simulate_faults_serial(
 /// contiguous chunks, one per worker, on top of the 64-way bit-parallel
 /// blocks. `threads = 0` uses [`std::thread::available_parallelism`].
 ///
-/// The report is identical to [`simulate_faults`] (and to
-/// [`simulate_faults_serial`]): stuck-at faults are independent, pattern
-/// blocks and their good-machine values are shared read-only, and chunk
-/// results are concatenated in fault order.
+/// The [`SimGraph`] precompute and the per-block
+/// good-machine words are computed once and shared read-only; each worker
+/// owns a private [`FaultSimScratch`]. The report is identical to
+/// [`simulate_faults`] (and to [`simulate_faults_serial`]): stuck-at
+/// faults are independent, and chunk results are concatenated in fault
+/// order.
 #[must_use]
 pub fn simulate_faults_threaded(
     circuit: &Circuit,
@@ -387,6 +698,7 @@ pub fn simulate_faults_threaded(
     }
     .min(faults.len());
     let prepared = prepare(circuit, patterns, 64);
+    let graph = SimGraph::build(circuit);
     let chunk = faults.len().div_ceil(threads);
     let mut firsts: Vec<Option<usize>> = Vec::with_capacity(faults.len());
     std::thread::scope(|s| {
@@ -394,7 +706,8 @@ pub fn simulate_faults_threaded(
             .chunks(chunk)
             .map(|slice| {
                 let prepared = &prepared;
-                s.spawn(move || first_detections_for(circuit, slice, prepared, 64, drop_detected))
+                let graph = &graph;
+                s.spawn(move || first_detections_for(graph, slice, prepared, 64, drop_detected))
             })
             .collect();
         for h in handles {
@@ -424,24 +737,29 @@ pub fn seeded_patterns(n_pi: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
 }
 
 /// Reverse-order test compaction: keep only the patterns that still detect
-/// a new fault when replayed in reverse with fault dropping.
+/// a new fault when replayed in reverse with fault dropping. Runs on the
+/// event-driven kernel with one shared scratch, so a replay costs
+/// O(disturbed region) per live fault.
 #[must_use]
 pub fn compact_reverse(
     circuit: &Circuit,
     faults: &[StuckAtFault],
     patterns: &[Vec<bool>],
 ) -> Vec<Vec<bool>> {
+    let graph = SimGraph::build(circuit);
+    let mut scratch = FaultSimScratch::new();
+    scratch.ensure_graph(&graph);
+    let mut good = vec![0u64; circuit.signal_count()];
     let mut kept: Vec<Vec<bool>> = Vec::new();
     let mut remaining: Vec<StuckAtFault> = faults.to_vec();
-    let mut scratch = vec![0u64; circuit.signal_count()];
     for p in patterns.iter().rev() {
         if remaining.is_empty() {
             break;
         }
         let block = PatternBlock::pack(circuit, std::slice::from_ref(p));
-        let good = good_sim(circuit, &block);
+        good_sim_into(circuit, &block, &mut good);
         let before = remaining.len();
-        remaining.retain(|f| detect_mask_with_good(circuit, *f, &block, &good, &mut scratch) == 0);
+        remaining.retain(|f| event_detect_mask(&graph, *f, block.mask(), &good, &mut scratch) == 0);
         if remaining.len() < before {
             kept.push(p.clone());
         }
@@ -484,6 +802,50 @@ mod tests {
         let thr = simulate_faults_threaded(&c, &faults, &patterns, false, 4);
         assert_eq!(par, ser);
         assert_eq!(par, thr);
+    }
+
+    #[test]
+    fn event_driven_engine_matches_the_full_pass_oracle() {
+        for (c, n_patterns) in [
+            (Circuit::c17(), 40),
+            (Circuit::ripple_adder(4), 130),
+            (Circuit::parity_tree(7), 64),
+        ] {
+            let faults = enumerate_stuck_at(&c);
+            let patterns = random_patterns(c.primary_inputs().len(), n_patterns, 17);
+            for drop_detected in [false, true] {
+                let full = simulate_faults_full_pass(&c, &faults, &patterns, drop_detected);
+                let event = simulate_faults(&c, &faults, &patterns, drop_detected);
+                assert_eq!(full, event, "drop = {drop_detected}");
+            }
+        }
+    }
+
+    #[test]
+    fn events_die_in_unobserved_cones() {
+        // kept = NAND(a, b) is the only PO; an INV chain hangs off it
+        // unobserved, so faults there must report undetected (and the
+        // kernel proves it without simulating anything).
+        use sinw_switch::cells::CellKind;
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let kept = c.add_gate(CellKind::Nand2, "kept", &[a, b]);
+        let dead = c.add_gate(CellKind::Inv, "dead", &[kept]);
+        let _dead2 = c.add_gate(CellKind::Inv, "dead2", &[dead]);
+        c.mark_output(kept);
+        let faults = enumerate_stuck_at(&c);
+        let patterns: Vec<Vec<bool>> = (0..4u32)
+            .map(|bits| (0..2).map(|k| (bits >> k) & 1 == 1).collect())
+            .collect();
+        let full = simulate_faults_full_pass(&c, &faults, &patterns, false);
+        let event = simulate_faults(&c, &faults, &patterns, false);
+        assert_eq!(full, event);
+        let dead_sa0 = faults
+            .iter()
+            .position(|f| f.site == FaultSite::Signal(dead) && !f.value)
+            .expect("dead s-a-0 enumerated");
+        assert!(event.undetected.contains(&dead_sa0));
     }
 
     #[test]
@@ -536,6 +898,28 @@ mod tests {
         let fault = StuckAtFault::sa0(FaultSite::Signal(a));
         let block = PatternBlock::pack(&c, &[vec![false], vec![true], vec![true]]);
         assert_eq!(detect_mask(&c, fault, &block), 0b110);
+    }
+
+    #[test]
+    fn detect_mask_in_reuses_buffers_across_circuits() {
+        // One scratch serves circuits of different sizes, growing once and
+        // agreeing with the allocating wrapper everywhere.
+        let mut scratch = FaultSimScratch::new();
+        for c in [Circuit::c17(), Circuit::full_adder(), Circuit::c17()] {
+            let n_pi = c.primary_inputs().len();
+            let patterns: Vec<Vec<bool>> = (0..(1u32 << n_pi))
+                .map(|bits| (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect())
+                .collect();
+            let block = PatternBlock::pack(&c, &patterns);
+            for fault in enumerate_stuck_at(&c) {
+                assert_eq!(
+                    detect_mask_in(&c, fault, &block, &mut scratch),
+                    detect_mask(&c, fault, &block),
+                    "{}",
+                    fault.describe(&c)
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //!   justification mode the cell-aware flow of `sinw-core` builds on;
 //! * [`faultsim`] — serial, 64-way bit-parallel, and thread-parallel
 //!   (PPSFP) stuck-at fault simulation with fault dropping and
-//!   reverse-order compaction;
+//!   reverse-order compaction, all on an event-driven,
+//!   fanout-cone-restricted kernel over the [`graph`] precompute layer
+//!   (a whole-circuit reference pass is retained for ablations and as
+//!   the property-test oracle);
+//! * [`graph`] — the levelized [`SimGraph`] precompute (topological
+//!   levels, CSR fanout, PO-reachability masks) shared read-only by
+//!   every fault, block and worker;
 //! * [`collapse`](mod@collapse) — structural fault-equivalence collapsing;
 //! * [`sof`] — classical two-pattern stuck-open generation, which covers
 //!   every break in the SP cells and *none* in the DP cells (the coverage
@@ -33,6 +39,7 @@
 pub mod collapse;
 pub mod fault_list;
 pub mod faultsim;
+pub mod graph;
 pub mod podem;
 pub mod sof;
 pub mod twin;
@@ -40,8 +47,9 @@ pub mod twin;
 pub use collapse::{collapse, CollapsedFaults};
 pub use fault_list::{enumerate_stuck_at, FaultSite, StuckAtFault};
 pub use faultsim::{
-    seeded_patterns, simulate_faults, simulate_faults_serial, simulate_faults_threaded,
-    FaultSimReport, PackError, PatternBlock,
+    seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_serial,
+    simulate_faults_threaded, FaultSimReport, FaultSimScratch, PackError, PatternBlock,
 };
+pub use graph::SimGraph;
 pub use podem::{generate_test, generate_test_constrained, justify, PodemConfig, PodemResult};
 pub use sof::{cell_sof_tests, generate_sof_test, CircuitTwoPattern, SofResult, TwoPattern};

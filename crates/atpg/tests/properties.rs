@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::{
-    detect_mask, seeded_patterns, simulate_faults, simulate_faults_serial,
-    simulate_faults_threaded, PatternBlock,
+    detect_mask, detect_mask_in, seeded_patterns, simulate_faults, simulate_faults_full_pass,
+    simulate_faults_serial, simulate_faults_threaded, FaultSimScratch, PatternBlock,
 };
 use sinw_atpg::podem::{generate_test, PodemConfig, PodemResult};
 use sinw_switch::cells::CellKind;
@@ -154,6 +154,87 @@ proptest! {
         let thr = simulate_faults_threaded(&c, &faults, &patterns, true, threads);
         prop_assert_eq!(&ser, &par);
         prop_assert_eq!(&ser, &thr);
+    }
+
+    /// The event-driven kernel against the retained full-pass oracle:
+    /// random generated circuits × random fault-list subsets × random
+    /// pattern blocks must produce bit-identical `FaultSimReport`s, with
+    /// and without fault dropping. Subsetting the fault list matters
+    /// because it desynchronises fault indices from circuit structure —
+    /// a bookkeeping bug in the worklist seeding would surface here.
+    #[test]
+    fn event_driven_matches_full_pass_on_random_universes(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..24,
+        n_patterns in 1usize..150,
+        keep_one_in in 1usize..4,
+        drop_detected in any::<bool>(),
+        threads in 1usize..5,
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let universe = enumerate_stuck_at(&c);
+        let faults: Vec<_> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % keep_one_in == 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let pattern_seed = seed.iter().fold(1u64, |acc, b| acc.wrapping_mul(31) ^ u64::from(*b));
+        let patterns = seeded_patterns(5, n_patterns, pattern_seed);
+        let oracle = simulate_faults_full_pass(&c, &faults, &patterns, drop_detected);
+        let event = simulate_faults(&c, &faults, &patterns, drop_detected);
+        let event_serial = simulate_faults_serial(&c, &faults, &patterns, drop_detected);
+        let event_threaded =
+            simulate_faults_threaded(&c, &faults, &patterns, drop_detected, threads);
+        prop_assert_eq!(&oracle, &event);
+        prop_assert_eq!(&oracle, &event_serial);
+        prop_assert_eq!(&oracle, &event_threaded);
+    }
+
+    /// Same oracle check on the *generated* benchmark structures, whose
+    /// deep reconvergent fanout exercises worklist dedup and level
+    /// ordering much harder than the shallow random DAGs.
+    #[test]
+    fn event_driven_matches_full_pass_on_generated_benchmarks(
+        which in 0usize..3,
+        width in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let c = match which {
+            0 => Circuit::ripple_adder(width),
+            1 => carry_select_adder(width + 2, 2),
+            _ => array_multiplier(width),
+        };
+        let faults = enumerate_stuck_at(&c);
+        let patterns = seeded_patterns(c.primary_inputs().len(), 70, seed);
+        let oracle = simulate_faults_full_pass(&c, &faults, &patterns, true);
+        let event = simulate_faults(&c, &faults, &patterns, true);
+        prop_assert_eq!(&oracle, &event);
+    }
+
+    /// `detect_mask_in` with one long-lived scratch agrees with the
+    /// allocating `detect_mask` wrapper across random circuits — buffer
+    /// reuse (including growth between differently-sized circuits) must
+    /// never leak state between calls.
+    #[test]
+    fn detect_mask_in_agrees_with_detect_mask(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..16,
+        n_patterns in 1usize..40,
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let pattern_seed = seed.iter().fold(7u64, |acc, b| (acc << 7) ^ u64::from(*b));
+        let patterns = seeded_patterns(5, n_patterns.min(64), pattern_seed);
+        let block = PatternBlock::pack(&c, &patterns);
+        let mut scratch = FaultSimScratch::new();
+        for fault in enumerate_stuck_at(&c) {
+            prop_assert_eq!(
+                detect_mask_in(&c, fault, &block, &mut scratch),
+                detect_mask(&c, fault, &block),
+                "{}",
+                fault.describe(&c)
+            );
+        }
     }
 
     /// Collapsed fault classes are detection-equivalent under exhaustive

@@ -1,5 +1,8 @@
-//! Serial vs 64-way bit-parallel vs thread-parallel PPSFP ablation on a
-//! generated array-multiplier fault universe.
+//! PPSFP engine ablation on a generated array-multiplier fault universe:
+//! serial vs 64-way bit-parallel vs thread-parallel, plus the
+//! **full-pass vs event-driven** kernel ablation (the whole-circuit
+//! reference inner loop against the fanout-cone-restricted worklist
+//! kernel all engines now run on).
 //!
 //! Knobs (environment variables):
 //!
@@ -7,26 +10,82 @@
 //!   32×32 array multiplier: ~4k cells, ~20k stuck-at faults);
 //! * `SINW_PPSFP_PATTERNS` — pattern count (default 16);
 //! * `SINW_PPSFP_THREADS` — worker count for the threaded engine
-//!   (default 0 = `std::thread::available_parallelism`).
+//!   (default 0 = `std::thread::available_parallelism`);
+//! * `SINW_BENCH_JSON` — where to write the machine-readable perf
+//!   trajectory (default `BENCH_ppsfp.json` in the working directory).
+//!
+//! Besides the human-readable ladder, the run writes `BENCH_ppsfp.json`
+//! (engine → wall-time ms and speedup, plus circuit/fault-universe sizes)
+//! so CI can archive the perf trajectory as an artifact.
 //!
 //! The CI bench-smoke step runs this with `SINW_PPSFP_WIDTH=4`; invoked
 //! without the `--bench` flag (e.g. `cargo test --benches`) the width also
-//! drops to 4 so smoke runs stay fast.
+//! drops to 4 so smoke runs stay fast. The ≥5× event-driven-vs-full-pass
+//! assertion only arms at measuring widths (`--bench` and width ≥ 32, the
+//! default universe): on small smoke circuits the disturbed cone *is*
+//! most of the netlist, so the asymptotic win has nothing to bite on.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::{
-    seeded_patterns, simulate_faults, simulate_faults_serial, simulate_faults_threaded,
+    seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_serial,
+    simulate_faults_threaded, FaultSimReport,
 };
 use sinw_switch::generate::array_multiplier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+struct EngineRow {
+    name: &'static str,
+    wall: Duration,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    width: usize,
+    cells: usize,
+    pis: usize,
+    pos: usize,
+    universe: usize,
+    collapsed: usize,
+    patterns: usize,
+    threads: usize,
+    engines: &[EngineRow],
+    event_speedup: f64,
+) {
+    let base = engines[0].wall.as_secs_f64();
+    let rows: Vec<String> = engines
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"engine\": \"{}\", \"wall_ms\": {:.3}, \"speedup_vs_serial\": {:.3}}}",
+                e.name,
+                e.wall.as_secs_f64() * 1e3,
+                base / e.wall.as_secs_f64().max(1e-12)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"ppsfp_scaling\",\n  \"circuit\": {{\"name\": \"mul{width}\", \
+         \"width\": {width}, \"cells\": {cells}, \"inputs\": {pis}, \"outputs\": {pos}}},\n  \
+         \"faults\": {{\"universe\": {universe}, \"collapsed\": {collapsed}}},\n  \
+         \"patterns\": {patterns},\n  \"threads\": {threads},\n  \"engines\": [\n{}\n  ],\n  \
+         \"ablation\": {{\"baseline\": \"full_pass64\", \"contender\": \"event64\", \
+         \"speedup\": {event_speedup:.3}}}\n}}\n",
+        rows.join(",\n")
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  perf trajectory written to {path}"),
+        Err(e) => eprintln!("  WARNING: could not write {path}: {e}"),
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -56,11 +115,11 @@ fn bench(c: &mut Criterion) {
 
     // Best-of-3 wall-clock comparison (the headline artifact; the
     // criterion samples below add statistical weight). Taking the minimum
-    // damps scheduler noise so the serial-vs-threaded assertion below
-    // cannot flake on a descheduled smoke run.
+    // damps scheduler noise so the in-bench assertions below cannot flake
+    // on a descheduled smoke run.
     let reps = &collapsed.representatives;
-    let mut timed = |f: &dyn Fn() -> sinw_atpg::faultsim::FaultSimReport| {
-        let mut best = std::time::Duration::MAX;
+    let timed = |f: &dyn Fn() -> FaultSimReport| {
+        let mut best = Duration::MAX;
         let mut result = None;
         for _ in 0..3 {
             let t0 = Instant::now();
@@ -71,27 +130,38 @@ fn bench(c: &mut Criterion) {
         (result.expect("three runs"), best)
     };
     let (ser, t_serial) = timed(&|| simulate_faults_serial(&circuit, reps, &patterns, false));
+    let (full, t_full) = timed(&|| simulate_faults_full_pass(&circuit, reps, &patterns, false));
     let (par, t_block) = timed(&|| simulate_faults(&circuit, reps, &patterns, false));
     let (thr, t_thread) =
         timed(&|| simulate_faults_threaded(&circuit, reps, &patterns, false, threads));
-    assert_eq!(ser, par, "bit-parallel engine must match serial");
+    assert_eq!(ser, full, "full-pass engine must match serial");
+    assert_eq!(
+        ser, par,
+        "event-driven bit-parallel engine must match serial"
+    );
     assert_eq!(ser, thr, "thread-parallel engine must match serial");
-    let speedup = |base: std::time::Duration, new: std::time::Duration| -> f64 {
+    let speedup = |base: Duration, new: Duration| -> f64 {
         base.as_secs_f64() / new.as_secs_f64().max(1e-12)
     };
     println!(
-        "  serial          {:>10.1} ms   (baseline; detected {}/{})",
+        "  serial (event)  {:>10.1} ms   (baseline; detected {}/{})",
         t_serial.as_secs_f64() * 1e3,
         ser.detected.len(),
         reps.len()
     );
     println!(
-        "  bit-parallel64  {:>10.1} ms   ({:.1}x vs serial)",
-        t_block.as_secs_f64() * 1e3,
-        speedup(t_serial, t_block)
+        "  full-pass64     {:>10.1} ms   ({:.1}x vs serial; whole-circuit inner loop)",
+        t_full.as_secs_f64() * 1e3,
+        speedup(t_serial, t_full)
     );
     println!(
-        "  thread-parallel {:>10.1} ms   ({:.1}x vs serial, {:.2}x vs bit-parallel)",
+        "  event64         {:>10.1} ms   ({:.1}x vs serial, {:.1}x vs full-pass)",
+        t_block.as_secs_f64() * 1e3,
+        speedup(t_serial, t_block),
+        speedup(t_full, t_block)
+    );
+    println!(
+        "  event-threaded  {:>10.1} ms   ({:.1}x vs serial, {:.2}x vs event64)",
         t_thread.as_secs_f64() * 1e3,
         speedup(t_serial, t_thread),
         speedup(t_block, t_thread)
@@ -100,14 +170,58 @@ fn bench(c: &mut Criterion) {
         t_thread < t_serial,
         "thread-parallel PPSFP must beat the serial baseline"
     );
+    let event_speedup = speedup(t_full, t_block);
+    if measuring && width >= 32 {
+        assert!(
+            event_speedup >= 5.0,
+            "event-driven kernel must be >= 5x the full-pass baseline at \
+             measuring widths, got {event_speedup:.2}x"
+        );
+    }
+
+    let json_path =
+        std::env::var("SINW_BENCH_JSON").unwrap_or_else(|_| "BENCH_ppsfp.json".to_string());
+    write_json(
+        &json_path,
+        width,
+        circuit.gates().len(),
+        circuit.primary_inputs().len(),
+        circuit.primary_outputs().len(),
+        faults.len(),
+        reps.len(),
+        patterns.len(),
+        threads,
+        &[
+            EngineRow {
+                name: "serial",
+                wall: t_serial,
+            },
+            EngineRow {
+                name: "full_pass64",
+                wall: t_full,
+            },
+            EngineRow {
+                name: "event64",
+                wall: t_block,
+            },
+            EngineRow {
+                name: "event_threaded",
+                wall: t_thread,
+            },
+        ],
+        event_speedup,
+    );
 
     c.bench_function("ppsfp/serial", |b| {
         b.iter(|| black_box(simulate_faults_serial(&circuit, reps, &patterns, false)));
     });
-    c.bench_function("ppsfp/bit_parallel64", |b| {
+    c.bench_function("ppsfp/full_pass64", |b| {
+        b.iter(|| black_box(simulate_faults_full_pass(&circuit, reps, &patterns, false)));
+    });
+    c.bench_function("ppsfp/event64", |b| {
         b.iter(|| black_box(simulate_faults(&circuit, reps, &patterns, false)));
     });
-    c.bench_function("ppsfp/thread_parallel", |b| {
+    c.bench_function("ppsfp/event_threaded", |b| {
         b.iter(|| {
             black_box(simulate_faults_threaded(
                 &circuit, reps, &patterns, false, threads,

@@ -702,6 +702,10 @@ pub struct FaultCoverageRow {
     /// 1 + index of the last pattern that detected a new fault (the
     /// useful prefix of the test set under fault dropping).
     pub effective_test_length: usize,
+    /// Wall time of the thread-parallel PPSFP call, in milliseconds —
+    /// the per-benchmark view of the perf trajectory the `ppsfp_scaling`
+    /// bench tracks on its single large universe.
+    pub sim_ms: f64,
 }
 
 /// Result of [`fault_coverage`]: one row per benchmark.
@@ -727,12 +731,12 @@ impl fmt::Display for FaultCoverageResult {
         )?;
         writeln!(
             f,
-            "  circuit  src    PI   PO  cells  faults  collapsed  patterns  detected  coverage  eff.len"
+            "  circuit  src    PI   PO  cells  faults  collapsed  patterns  detected  coverage  eff.len  sim(ms)"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:7}  {:5} {:>3}  {:>3}  {:>5}  {:>6}  {:>9}  {:>5}{:3}  {:>8}  {:>7.2}%  {:>7}",
+                "  {:7}  {:5} {:>3}  {:>3}  {:>5}  {:>6}  {:>9}  {:>5}{:3}  {:>8}  {:>7.2}%  {:>7}  {:>7.1}",
                 r.name,
                 r.source,
                 r.inputs,
@@ -744,7 +748,8 @@ impl fmt::Display for FaultCoverageResult {
                 if r.exhaustive { "(x)" } else { "(r)" },
                 r.detected,
                 100.0 * r.coverage,
-                r.effective_test_length
+                r.effective_test_length,
+                r.sim_ms
             )?;
         }
         writeln!(
@@ -800,7 +805,9 @@ pub fn benchmark_suite(fast: bool) -> Vec<(String, &'static str, sinw_switch::ga
 
 /// End-to-end stuck-at coverage over [`benchmark_suite`]: enumerate the
 /// fault universe, collapse it, run thread-parallel PPSFP (auto worker
-/// count) with fault dropping, and report per-benchmark coverage.
+/// count, event-driven fanout-cone kernel over a levelized `SimGraph`)
+/// with fault dropping, and report per-benchmark coverage plus the
+/// simulation wall time.
 ///
 /// `fast` shrinks the generated circuits and the random-pattern budget
 /// for test runs.
@@ -816,8 +823,10 @@ pub fn fault_coverage(fast: bool) -> FaultCoverageResult {
             let faults = enumerate_stuck_at(&circuit);
             let collapsed = collapse(&circuit, &faults);
             let (patterns, exhaustive) = benchmark_patterns(&circuit, &name, fast);
+            let t0 = std::time::Instant::now();
             let report =
                 simulate_faults_threaded(&circuit, &collapsed.representatives, &patterns, true, 0);
+            let sim_ms = t0.elapsed().as_secs_f64() * 1e3;
             let effective_test_length = report
                 .first_detections
                 .iter()
@@ -836,6 +845,7 @@ pub fn fault_coverage(fast: bool) -> FaultCoverageResult {
                 detected: report.detected.len(),
                 coverage: report.coverage(),
                 effective_test_length,
+                sim_ms,
             }
         })
         .collect();

@@ -75,6 +75,10 @@ pub struct Circuit {
     gates: Vec<GateInstance>,
     /// driver[sig] = gate that produces the signal (None for PIs).
     driver: Vec<Option<GateId>>,
+    /// fanout_adj[sig] = (gate, pin) pairs fed by the signal, maintained
+    /// incrementally by [`Circuit::try_add_gate`] so [`Circuit::fanout`]
+    /// is an O(1) slice borrow instead of an O(gates) scan-and-allocate.
+    fanout_adj: Vec<Vec<(GateId, usize)>>,
 }
 
 impl Circuit {
@@ -89,6 +93,7 @@ impl Circuit {
         let id = SignalId(self.signal_names.len());
         self.signal_names.push(name.into());
         self.driver.push(None);
+        self.fanout_adj.push(Vec::new());
         self.primary_inputs.push(id);
         id
     }
@@ -122,8 +127,13 @@ impl Circuit {
         }
         let name = name.into();
         let output = SignalId(self.signal_names.len());
+        let gid = GateId(self.gates.len());
+        for (pin, s) in inputs.iter().enumerate() {
+            self.fanout_adj[s.0].push((gid, pin));
+        }
         self.signal_names.push(format!("{name}.out"));
-        self.driver.push(Some(GateId(self.gates.len())));
+        self.driver.push(Some(gid));
+        self.fanout_adj.push(Vec::new());
         self.gates.push(GateInstance {
             name,
             kind,
@@ -187,18 +197,15 @@ impl Circuit {
         self.driver[sig.0]
     }
 
-    /// Gates and pin positions fed by `sig`.
+    /// Gates and pin positions fed by `sig`, in gate order.
+    ///
+    /// Backed by an incrementally maintained adjacency list, so this is an
+    /// O(1) borrow — callers that need the whole index flat in memory
+    /// (e.g. the event-driven fault-sim kernel) should build a
+    /// [`FanoutCsr`] once instead of borrowing signal by signal.
     #[must_use]
-    pub fn fanout(&self, sig: SignalId) -> Vec<(GateId, usize)> {
-        let mut out = Vec::new();
-        for (gi, g) in self.gates.iter().enumerate() {
-            for (pin, s) in g.inputs.iter().enumerate() {
-                if *s == sig {
-                    out.push((GateId(gi), pin));
-                }
-            }
-        }
-        out
+    pub fn fanout(&self, sig: SignalId) -> &[(GateId, usize)] {
+        &self.fanout_adj[sig.0]
     }
 
     /// Number of signals.
@@ -427,6 +434,53 @@ impl Circuit {
     }
 }
 
+/// Compressed-sparse-row fanout index of a [`Circuit`]: every signal's
+/// `(gate, pin)` consumers in one flat allocation.
+///
+/// [`Circuit::fanout`] already answers per-signal queries in O(1) from the
+/// incrementally maintained adjacency; this index additionally lays the
+/// whole fanout relation out contiguously (one offsets array, one entries
+/// array), which is what level-ordered traversals such as the event-driven
+/// fault-simulation kernel in `sinw-atpg` want: a cone walk touches many
+/// signals' fanout lists in quick succession and should not pointer-chase
+/// one heap allocation per signal.
+#[derive(Debug, Clone)]
+pub struct FanoutCsr {
+    /// `offsets[sig]..offsets[sig + 1]` indexes `entries`; length is
+    /// `signal_count + 1`.
+    offsets: Vec<usize>,
+    /// `(consumer gate, pin)` pairs, grouped by driven signal.
+    entries: Vec<(GateId, usize)>,
+}
+
+impl FanoutCsr {
+    /// Build the index in O(signals + pins).
+    #[must_use]
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.signal_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        offsets.push(0);
+        for s in 0..n {
+            entries.extend_from_slice(circuit.fanout(SignalId(s)));
+            offsets.push(entries.len());
+        }
+        FanoutCsr { offsets, entries }
+    }
+
+    /// `(gate, pin)` consumers of a signal, in gate order.
+    #[must_use]
+    pub fn fanout(&self, sig: SignalId) -> &[(GateId, usize)] {
+        &self.entries[self.offsets[sig.0]..self.offsets[sig.0 + 1]]
+    }
+
+    /// Total number of fanout entries (= total gate input pins).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// A flattened circuit: transistor-level netlist plus the maps back to the
 /// gate-level view.
 #[derive(Debug, Clone)]
@@ -572,6 +626,31 @@ mod tests {
             }
             assert!(!r.rail_short, "healthy adder must not short at {v:?}");
         }
+    }
+
+    #[test]
+    fn fanout_index_matches_a_direct_scan() {
+        let c = Circuit::c17();
+        let csr = FanoutCsr::build(&c);
+        let mut total = 0usize;
+        for s in 0..c.signal_count() {
+            let sig = SignalId(s);
+            // Reference: the O(gates) scan the incremental adjacency replaced.
+            let mut scanned = Vec::new();
+            for (gi, g) in c.gates().iter().enumerate() {
+                for (pin, t) in g.inputs.iter().enumerate() {
+                    if *t == sig {
+                        scanned.push((GateId(gi), pin));
+                    }
+                }
+            }
+            assert_eq!(c.fanout(sig), scanned.as_slice(), "signal {s}");
+            assert_eq!(csr.fanout(sig), scanned.as_slice(), "signal {s} (CSR)");
+            total += scanned.len();
+        }
+        // c17: six NAND2 gates, two pins each.
+        assert_eq!(csr.entry_count(), 12);
+        assert_eq!(total, 12);
     }
 
     #[test]

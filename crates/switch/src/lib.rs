@@ -44,7 +44,7 @@ pub mod value;
 
 pub use cells::{Cell, CellKind};
 pub use fault::{FaultSet, NetFault, TransistorFault};
-pub use gate::{Circuit, CircuitError, FlatCircuit, GateId, SignalId};
+pub use gate::{Circuit, CircuitError, FanoutCsr, FlatCircuit, GateId, SignalId};
 pub use generate::{array_multiplier, carry_select_adder, generated_suite};
 pub use iscas::{parse_bench, to_bench, BenchParseError};
 pub use netlist::{GateRole, NetId, NetKind, Netlist, NetlistError, TransistorId};

@@ -332,6 +332,8 @@ impl<'a> SwitchSim<'a> {
         let fixed = self.fixed_values(inputs);
 
         // Start from the previous state with fixed values overriding.
+        // `self.state` must stay untouched until convergence: `flood`
+        // reads it as the retained-charge memory of waves 2–3.
         let mut values: Vec<Logic> = self.state.clone();
         for i in 0..n {
             if let Some((_, v)) = fixed[i] {
@@ -374,7 +376,10 @@ impl<'a> SwitchSim<'a> {
         let rail_short = self.rail_short(&conduction, false);
         let possible_rail_short = self.rail_short(&conduction, true);
 
-        self.state = values.clone();
+        // Re-establish the state by copying into the retired buffer
+        // (same length every apply) instead of allocating a second clone
+        // of `values`.
+        self.state.clone_from(&values);
         SimResult {
             values,
             strengths,

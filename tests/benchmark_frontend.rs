@@ -5,7 +5,8 @@
 use sinw::atpg::collapse::collapse;
 use sinw::atpg::fault_list::enumerate_stuck_at;
 use sinw::atpg::faultsim::{
-    seeded_patterns, simulate_faults, simulate_faults_serial, simulate_faults_threaded,
+    seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_serial,
+    simulate_faults_threaded,
 };
 use sinw::core::experiments::{benchmark_suite, fault_coverage};
 use sinw::switch::iscas::{parse_bench, C17_BENCH, CSA16_BENCH};
@@ -55,7 +56,9 @@ fn c17_thread_parallel_matches_serial() {
 }
 
 /// Engine agreement on the mid-size embedded fixture with a random
-/// pattern set (csa16 is too wide for exhaustive application).
+/// pattern set (csa16 is too wide for exhaustive application). The
+/// retained full-pass oracle must agree with the three event-driven
+/// engines bit for bit.
 #[test]
 fn csa16_engines_agree() {
     let csa = parse_bench(CSA16_BENCH).expect("embedded csa16 parses");
@@ -65,11 +68,41 @@ fn csa16_engines_agree() {
     let serial = simulate_faults_serial(&csa, &collapsed.representatives, &patterns, true);
     let block = simulate_faults(&csa, &collapsed.representatives, &patterns, true);
     let threaded = simulate_faults_threaded(&csa, &collapsed.representatives, &patterns, true, 3);
+    let full_pass = simulate_faults_full_pass(&csa, &collapsed.representatives, &patterns, true);
     assert_eq!(serial, block);
     assert_eq!(serial, threaded);
+    assert_eq!(serial, full_pass);
     assert!(
         serial.coverage() > 0.9,
         "random patterns cover most of csa16"
+    );
+}
+
+/// Golden numbers for the mid-size embedded fixture, companion to the c17
+/// golden above: the csa16 stuck-at universe, its collapse, and the
+/// coverage of the deterministic 96-pattern seeded set are pinned so a
+/// kernel change that silently shifts any stage of the pipeline fails
+/// loudly here.
+#[test]
+fn csa16_stuck_at_coverage_golden() {
+    let csa = parse_bench(CSA16_BENCH).expect("embedded csa16 parses");
+    assert_eq!(csa.gates().len(), 308, "csa16 maps to 308 CP cells");
+    let faults = enumerate_stuck_at(&csa);
+    assert_eq!(faults.len(), 1192, "csa16 single-stuck-at universe");
+    let collapsed = collapse(&csa, &faults);
+    assert_eq!(
+        collapsed.representatives.len(),
+        626,
+        "csa16 collapsed universe"
+    );
+    let patterns = seeded_patterns(csa.primary_inputs().len(), 96, 0xDEAD_BEEF);
+    let report = simulate_faults_threaded(&csa, &collapsed.representatives, &patterns, true, 0);
+    assert_eq!(report.detected.len(), 620);
+    assert_eq!(report.undetected.len(), 6);
+    let coverage = report.coverage();
+    assert!(
+        (coverage - 620.0 / 626.0).abs() < 1e-12,
+        "csa16 coverage pinned at 620/626, got {coverage}"
     );
 }
 
