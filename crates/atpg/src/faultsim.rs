@@ -193,7 +193,7 @@ pub fn good_sim(circuit: &Circuit, block: &PatternBlock) -> Vec<u64> {
     values
 }
 
-fn good_sim_into(circuit: &Circuit, block: &PatternBlock, values: &mut [u64]) {
+pub(crate) fn good_sim_into(circuit: &Circuit, block: &PatternBlock, values: &mut [u64]) {
     for (k, pi) in circuit.primary_inputs().iter().enumerate() {
         values[pi.0] = block.words[k];
     }
@@ -293,7 +293,7 @@ impl FaultSimScratch {
     }
 
     /// Grow every buffer the event kernel touches for `graph`.
-    fn ensure_graph(&mut self, graph: &SimGraph) {
+    pub(crate) fn ensure_graph(&mut self, graph: &SimGraph) {
         self.ensure_signals(graph.signal_count());
         if self.queued.len() < graph.gate_count() {
             self.queued.resize(graph.gate_count(), 0);
@@ -336,7 +336,9 @@ impl FaultSimScratch {
 ///
 /// Work is proportional to the disturbed part of the fault's fanout cone.
 /// `scratch` must have been sized by `ensure_graph` for `graph`.
-fn event_detect_mask(
+/// Crate-visible so the `tpg` campaign loop can run every phase on the
+/// same hot kernel (and the same shared graph/scratch) as the engines.
+pub(crate) fn event_detect_mask(
     graph: &SimGraph,
     fault: StuckAtFault,
     block_mask: u64,
@@ -717,22 +719,41 @@ pub fn simulate_faults_threaded(
     report_from(firsts, patterns.len())
 }
 
+/// The deterministic stream generator behind [`seeded_patterns`] and the
+/// `tpg` campaign's pattern/fill stream — one implementation so the
+/// "same seed ⇒ same report" contract cannot silently fork.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
 /// Deterministic random-pattern source (SplitMix64): `count` fully
 /// specified patterns over `n_pi` inputs, reproducible from `seed`.
 /// Shared by the experiment drivers, the benches and the test suites so
 /// reported coverage numbers are stable run-to-run.
 #[must_use]
 pub fn seeded_patterns(n_pi: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
-    let mut state = seed;
-    let mut next = move || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
+    let mut rng = SplitMix64::new(seed);
     (0..count)
-        .map(|_| (0..n_pi).map(|_| next() & 1 == 1).collect())
+        .map(|_| (0..n_pi).map(|_| rng.next_bool()).collect())
         .collect()
 }
 

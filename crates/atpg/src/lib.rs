@@ -16,6 +16,15 @@
 //!   levels, CSR fanout, PO-reachability masks) shared read-only by
 //!   every fault, block and worker;
 //! * [`collapse`](mod@collapse) — structural fault-equivalence collapsing;
+//! * [`redundancy`] — static untestability proofs (mandatory
+//!   assignments + implication closure + small-support exhaustive
+//!   checks) for the faults branch-and-bound cannot refute in bounded
+//!   backtracks;
+//! * [`tpg`] — the full ATPG **campaign loop** ([`tpg::AtpgEngine`]):
+//!   a random-pattern phase with fault dropping, a deterministic PODEM
+//!   phase with collateral dropping and untestable/aborted accounting,
+//!   and don't-care-aware static + reverse-order compaction, producing
+//!   a verified, compact test set;
 //! * [`sof`] — classical two-pattern stuck-open generation, which covers
 //!   every break in the SP cells and *none* in the DP cells (the coverage
 //!   gap that motivates the paper's new test algorithm).
@@ -41,7 +50,9 @@ pub mod fault_list;
 pub mod faultsim;
 pub mod graph;
 pub mod podem;
+pub mod redundancy;
 pub mod sof;
+pub mod tpg;
 pub mod twin;
 
 pub use collapse::{collapse, CollapsedFaults};
@@ -51,5 +62,9 @@ pub use faultsim::{
     simulate_faults_threaded, FaultSimReport, FaultSimScratch, PackError, PatternBlock,
 };
 pub use graph::SimGraph;
-pub use podem::{generate_test, generate_test_constrained, justify, PodemConfig, PodemResult};
+pub use podem::{
+    fill_cube, generate_test, generate_test_constrained, justify, PodemConfig, PodemResult,
+};
+pub use redundancy::RedundancyProver;
 pub use sof::{cell_sof_tests, generate_sof_test, CircuitTwoPattern, SofResult, TwoPattern};
+pub use tpg::{merge_cubes, AtpgConfig, AtpgEngine, AtpgReport, FaultStatus};

@@ -30,13 +30,23 @@ impl Default for PodemConfig {
 /// Outcome of a PODEM run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PodemResult {
-    /// A detecting pattern (one value per PI; unassigned PIs may be either
-    /// value and are returned as `false`).
-    Test(Vec<bool>),
+    /// A detecting test cube: one entry per PI, `None` marking a
+    /// don't-care. Detection only depends on the specified entries —
+    /// three-valued simulation is monotonic in the assignment, so *every*
+    /// completion of the cube detects the fault (a property the test
+    /// suites assert). Fill with [`fill_cube`], or keep the cube partial
+    /// for don't-care-aware compaction (`tpg::merge_cubes`).
+    Test(Vec<Option<bool>>),
     /// The fault is provably untestable (redundant).
     Untestable,
     /// The backtrack limit was hit.
     Aborted,
+}
+
+/// Complete a test cube by filling every don't-care with `fill`.
+#[must_use]
+pub fn fill_cube(cube: &[Option<bool>], fill: bool) -> Vec<bool> {
+    cube.iter().map(|v| v.unwrap_or(fill)).collect()
 }
 
 /// A required signal value (used for cell-aware justification).
@@ -62,14 +72,14 @@ pub fn generate_test_constrained(
     search(circuit, Some(fault), constraints, config)
 }
 
-/// Find a primary-input pattern that justifies all the given signal values
-/// (no fault involved).
+/// Find a primary-input cube that justifies all the given signal values
+/// (no fault involved). Unassigned PIs come back as `None` (don't-care).
 #[must_use]
 pub fn justify(
     circuit: &Circuit,
     constraints: &[Constraint],
     config: &PodemConfig,
-) -> Option<Vec<bool>> {
+) -> Option<Vec<Option<bool>>> {
     match search(circuit, None, constraints, config) {
         PodemResult::Test(p) => Some(p),
         _ => None,
@@ -119,8 +129,7 @@ fn search(
             constraints_met
         };
         if success {
-            let pattern = assignment.iter().map(|v| v.unwrap_or(false)).collect();
-            return PodemResult::Test(pattern);
+            return PodemResult::Test(assignment);
         }
 
         let feasible = !constraint_conflict
@@ -404,9 +413,8 @@ mod tests {
     use crate::fault_list::enumerate_stuck_at;
     use crate::twin::simulate;
 
-    fn verify_test(circuit: &Circuit, fault: StuckAtFault, pattern: &[bool]) -> bool {
-        let assignment: Vec<Option<bool>> = pattern.iter().map(|b| Some(*b)).collect();
-        let twins = simulate(circuit, fault, &assignment);
+    fn verify_test(circuit: &Circuit, fault: StuckAtFault, cube: &[Option<bool>]) -> bool {
+        let twins = simulate(circuit, fault, cube);
         detected_at_po(circuit, &twins)
     }
 
@@ -468,7 +476,10 @@ mod tests {
         let g16_out = c.gates()[2].output;
         let p = justify(&c, &[(g16_out, false)], &PodemConfig::default())
             .expect("g16.out = 0 is satisfiable");
-        let logic: Vec<_> = p.iter().map(|b| Logic::from_bool(*b)).collect();
+        let logic: Vec<_> = fill_cube(&p, false)
+            .iter()
+            .map(|b| Logic::from_bool(*b))
+            .collect();
         let values = c.eval(&logic);
         assert_eq!(values[g16_out.0], Logic::Zero);
     }
@@ -493,10 +504,35 @@ mod tests {
         match generate_test_constrained(&c, fault, &[(g11_out, true)], &PodemConfig::default()) {
             PodemResult::Test(p) => {
                 assert!(verify_test(&c, fault, &p));
-                let logic: Vec<_> = p.iter().map(|b| Logic::from_bool(*b)).collect();
+                let logic: Vec<_> = fill_cube(&p, false)
+                    .iter()
+                    .map(|b| Logic::from_bool(*b))
+                    .collect();
                 assert_eq!(c.eval(&logic)[g11_out.0], Logic::One);
             }
             other => panic!("expected a constrained test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_fill_of_a_test_cube_detects() {
+        // Detection must not depend on how the don't-cares are completed:
+        // the specified entries alone force the D-path.
+        let c = Circuit::c17();
+        let config = PodemConfig::default();
+        for fault in enumerate_stuck_at(&c) {
+            let PodemResult::Test(cube) = generate_test(&c, fault, &config) else {
+                panic!("c17 is fully testable");
+            };
+            for fill in [false, true] {
+                let filled: Vec<Option<bool>> =
+                    fill_cube(&cube, fill).into_iter().map(Some).collect();
+                assert!(
+                    verify_test(&c, fault, &filled),
+                    "fill {fill} of cube {cube:?} misses {}",
+                    fault.describe(&c)
+                );
+            }
         }
     }
 

@@ -14,7 +14,7 @@
 //! `sinw-core`).
 
 use crate::fault_list::{FaultSite, StuckAtFault};
-use crate::podem::{generate_test_constrained, justify, PodemConfig, PodemResult};
+use crate::podem::{fill_cube, generate_test_constrained, justify, PodemConfig, PodemResult};
 use sinw_switch::cells::{Cell, CellKind};
 use sinw_switch::fault::{FaultSet, TransistorFault};
 use sinw_switch::gate::{Circuit, GateId};
@@ -144,7 +144,9 @@ pub fn generate_sof_test(
             value: retained,
         };
         let eval_pattern = match generate_test_constrained(circuit, fault, &constraints, config) {
-            PodemResult::Test(p) => p,
+            // Two-pattern sequences are replayed at switch level, which
+            // needs fully specified vectors: fill the don't-cares low.
+            PodemResult::Test(p) => fill_cube(&p, false),
             _ => continue,
         };
         // Initialisation vector: justify the cell-level init inputs.
@@ -156,7 +158,7 @@ pub fn generate_sof_test(
             .collect();
         if let Some(init_pattern) = justify(circuit, &init_constraints, config) {
             return SofResult::Test(CircuitTwoPattern {
-                init: init_pattern,
+                init: fill_cube(&init_pattern, false),
                 eval: eval_pattern,
             });
         }

@@ -1,0 +1,202 @@
+//! ATPG campaign ablation on a generated carry-select-adder fault
+//! universe: the **random-only** baseline (random phase + compaction,
+//! no PODEM) against the **full campaign** (random → PODEM with
+//! collateral dropping and static redundancy screening → don't-care
+//! merge → reverse-order compaction).
+//!
+//! The carry-select adder is the interesting workload here: its
+//! speculative-carry muxes carry genuinely *redundant* select-pin
+//! faults, so a random-only flow can detect but never **close** the
+//! campaign — the unclassified remainder caps its testable coverage
+//! below 100 %, while the full campaign proves the redundancies
+//! statically and certifies every testable fault detected.
+//!
+//! Knobs (environment variables):
+//!
+//! * `SINW_ATPG_WIDTH` — adder width in bits, 4-bit select blocks
+//!   (default 32 measuring, 8 on smoke runs without `--bench`);
+//! * `SINW_ATPG_BLOCKS` — random-phase block cap (default 64);
+//! * `SINW_BENCH_JSON` — where to write the machine-readable artifact
+//!   (default `BENCH_atpg.json` in the working directory, same
+//!   convention as `BENCH_ppsfp.json`).
+//!
+//! In-bench assertions (the acceptance criteria of the campaign work):
+//!
+//! * the full campaign detects at least as many faults as random-only
+//!   and reaches 100 % coverage of the testable collapsed universe;
+//! * the deterministic phase targets strictly fewer faults than the
+//!   collapsed universe (random + dropping demonstrably at work);
+//! * the compacted pattern set, re-simulated from scratch by the public
+//!   `simulate_faults` engine, detects exactly the faults the report
+//!   claims — compaction never costs coverage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sinw_atpg::collapse::collapse;
+use sinw_atpg::fault_list::enumerate_stuck_at;
+use sinw_atpg::faultsim::simulate_faults;
+use sinw_atpg::tpg::{AtpgConfig, AtpgEngine, AtpgReport};
+use sinw_switch::generate::carry_select_adder;
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn campaign_json(label: &str, report: &AtpgReport, wall: Duration) -> String {
+    format!(
+        "    {{\"mode\": \"{label}\", \"wall_ms\": {:.3}, \"patterns\": {}, \
+         \"patterns_before_compaction\": {}, \"detected\": {}, \"untestable\": {}, \
+         \"aborted\": {}, \"podem_calls\": {}, \"random_patterns\": {}, \
+         \"coverage_testable\": {:.6}, \"phase_ms\": {{\"random\": {:.3}, \
+         \"deterministic\": {:.3}, \"compaction\": {:.3}}}}}",
+        wall.as_secs_f64() * 1e3,
+        report.patterns.len(),
+        report.patterns_before_compaction,
+        report.detected(),
+        report.untestable,
+        report.aborted,
+        report.podem_calls,
+        report.random_patterns_applied,
+        report.testable_coverage(),
+        report.random_ms,
+        report.deterministic_ms,
+        report.compaction_ms
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let measuring = std::env::args().any(|a| a == "--bench");
+    let width = env_usize("SINW_ATPG_WIDTH", if measuring { 32 } else { 8 });
+    let blocks = env_usize("SINW_ATPG_BLOCKS", 64);
+
+    let circuit = carry_select_adder(width, 4);
+    let faults = enumerate_stuck_at(&circuit);
+    let collapsed = collapse(&circuit, &faults);
+    let reps = &collapsed.representatives;
+    let config = AtpgConfig {
+        max_random_blocks: blocks,
+        ..AtpgConfig::default()
+    };
+    println!(
+        "\nATPG campaign ablation: {width}-bit carry-select adder — {} cells, \
+         {} faults ({} collapsed)",
+        circuit.gates().len(),
+        faults.len(),
+        reps.len()
+    );
+
+    let timed = |cfg: AtpgConfig| -> (AtpgReport, Duration) {
+        let mut best = Duration::MAX;
+        let mut result = None;
+        for _ in 0..3 {
+            let engine = AtpgEngine::new(&circuit, cfg);
+            let t0 = Instant::now();
+            let r = engine.run(reps);
+            best = best.min(t0.elapsed());
+            result = Some(r);
+        }
+        (result.expect("three runs"), best)
+    };
+    let (random_only, t_random) = timed(config.random_only());
+    let (full, t_full) = timed(config);
+
+    println!(
+        "  random-only     {:>10.1} ms   {} patterns, {}/{} detected ({:.2}% of testable)",
+        t_random.as_secs_f64() * 1e3,
+        random_only.patterns.len(),
+        random_only.detected(),
+        reps.len(),
+        100.0 * random_only.testable_coverage()
+    );
+    println!(
+        "  full campaign   {:>10.1} ms   {} patterns, {}/{} detected, {} untestable, \
+         {} aborted, {} PODEM calls",
+        t_full.as_secs_f64() * 1e3,
+        full.patterns.len(),
+        full.detected(),
+        reps.len(),
+        full.untestable,
+        full.aborted,
+        full.podem_calls
+    );
+
+    assert!(
+        full.detected() >= random_only.detected(),
+        "the deterministic phase must not lose coverage"
+    );
+    assert_eq!(
+        full.testable_coverage(),
+        1.0,
+        "full campaign must cover every testable collapsed fault \
+         ({} aborted)",
+        full.aborted
+    );
+    assert!(
+        full.podem_calls < reps.len(),
+        "random phase + dropping must shrink the deterministic phase"
+    );
+    if measuring && width >= 12 {
+        // Two or more speculative blocks: the mux redundancies exist,
+        // the full campaign proves them, and random-only — which cannot
+        // classify — stays short of closing the campaign.
+        assert!(
+            full.untestable > 0,
+            "carry-select muxes must yield proven redundancies"
+        );
+        assert!(
+            random_only.testable_coverage() < 1.0,
+            "random-only must not be able to close the campaign"
+        );
+    }
+    // Compaction keeps coverage: independent re-simulation of the final
+    // compacted set must detect exactly what the report claims.
+    let check = simulate_faults(&circuit, reps, &full.patterns, true);
+    assert_eq!(
+        check.detected.len(),
+        full.detected(),
+        "compacted set failed independent re-verification"
+    );
+    assert!(full.patterns.len() <= full.patterns_before_compaction);
+
+    let json_path =
+        std::env::var("SINW_BENCH_JSON").unwrap_or_else(|_| "BENCH_atpg.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"atpg_scaling\",\n  \"circuit\": {{\"name\": \"csa{width}\", \
+         \"width\": {width}, \"cells\": {}, \"inputs\": {}, \"outputs\": {}}},\n  \
+         \"faults\": {{\"universe\": {}, \"collapsed\": {}}},\n  \"modes\": [\n{},\n{}\n  ]\n}}\n",
+        circuit.gates().len(),
+        circuit.primary_inputs().len(),
+        circuit.primary_outputs().len(),
+        faults.len(),
+        reps.len(),
+        campaign_json("random_only", &random_only, t_random),
+        campaign_json("full", &full, t_full)
+    );
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("  campaign trajectory written to {json_path}"),
+        Err(e) => eprintln!("  WARNING: could not write {json_path}: {e}"),
+    }
+
+    c.bench_function("atpg/random_only", |b| {
+        b.iter(|| {
+            let engine = AtpgEngine::new(&circuit, config.random_only());
+            black_box(engine.run(reps))
+        });
+    });
+    c.bench_function("atpg/full_campaign", |b| {
+        b.iter(|| {
+            let engine = AtpgEngine::new(&circuit, config);
+            black_box(engine.run(reps))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 use crate::dictionary::CellDictionary;
 use sinw_atpg::fault_list::{FaultSite, StuckAtFault};
-use sinw_atpg::podem::{generate_test_constrained, justify, PodemConfig, PodemResult};
+use sinw_atpg::podem::{fill_cube, generate_test_constrained, justify, PodemConfig, PodemResult};
 use sinw_atpg::sof::{generate_sof_test, SofResult};
 use sinw_switch::cells::CellKind;
 use sinw_switch::fault::{FaultSet, TransistorFault};
@@ -91,7 +91,11 @@ pub fn lift_polarity_test(
             value: faulty_high,
         };
         if let PodemResult::Test(p) = generate_test_constrained(circuit, sa, &constraints, config) {
-            return Some(LiftedTest::OutputObservable { pattern: p });
+            // Switch-level validation replays the pattern on the flattened
+            // netlist, which needs every PI specified: fill don't-cares low.
+            return Some(LiftedTest::OutputObservable {
+                pattern: fill_cube(&p, false),
+            });
         }
     }
     // Fall back to IDDQ: only the local vector needs justification.
@@ -103,7 +107,9 @@ pub fn lift_polarity_test(
             .map(|(s, v)| (*s, *v))
             .collect();
         if let Some(p) = justify(circuit, &constraints, config) {
-            return Some(LiftedTest::IddqObservable { pattern: p });
+            return Some(LiftedTest::IddqObservable {
+                pattern: fill_cube(&p, false),
+            });
         }
     }
     None

@@ -225,6 +225,14 @@ impl Experiments {
         fault_coverage(self.fast)
     }
 
+    /// Full ATPG campaign (random phase → PODEM → compaction) over the
+    /// benchmark suite. Delegates to [`atpg_campaign`] with this
+    /// context's fidelity.
+    #[must_use]
+    pub fn atpg_campaign(&self) -> AtpgCampaignResult {
+        atpg_campaign(self.fast)
+    }
+
     // ------------------------------------------------------------------
     // Table I — process steps and defect census
     // ------------------------------------------------------------------
@@ -850,6 +858,135 @@ pub fn fault_coverage(fast: bool) -> FaultCoverageResult {
         })
         .collect();
     FaultCoverageResult { rows }
+}
+
+// ----------------------------------------------------------------------
+// ATPG campaign (test-set production over the benchmark suite)
+// ----------------------------------------------------------------------
+
+/// One benchmark's trip through the full ATPG campaign: random phase →
+/// deterministic PODEM phase → don't-care-aware compaction.
+#[derive(Debug, Clone)]
+pub struct AtpgCampaignRow {
+    /// Benchmark name (`c17`, `csa16`, `mul8`, …).
+    pub name: String,
+    /// `"bench"` for parsed `.bench` fixtures, `"gen"` for generators.
+    pub source: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Cell instances after mapping onto the CP library.
+    pub cells: usize,
+    /// Size of the full single-stuck-at universe.
+    pub faults: usize,
+    /// Representatives after structural equivalence collapsing (the
+    /// campaign's target list).
+    pub collapsed: usize,
+    /// The campaign report: final pattern set, per-fault statuses,
+    /// per-phase wall times, coverage accessors.
+    pub report: sinw_atpg::tpg::AtpgReport,
+}
+
+/// Result of [`atpg_campaign`]: one row per benchmark.
+#[derive(Debug, Clone)]
+pub struct AtpgCampaignResult {
+    /// Per-benchmark rows.
+    pub rows: Vec<AtpgCampaignRow>,
+}
+
+impl AtpgCampaignResult {
+    /// Row lookup by benchmark name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&AtpgCampaignRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for AtpgCampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ATPG campaign (random phase + PODEM with dropping + don't-care compaction)"
+        )?;
+        writeln!(
+            f,
+            "  circuit  src    PI  cells  collapsed  rand(app/kept)  podem  untest  abort  cov(test)  patterns  rnd(ms)  det(ms)  cmp(ms)"
+        )?;
+        for r in &self.rows {
+            let rep = &r.report;
+            writeln!(
+                f,
+                "  {:7}  {:5} {:>3}  {:>5}  {:>9}  {:>6}/{:<5}  {:>5}  {:>6}  {:>5}  {:>8.2}%  {:>4}/{:<4}  {:>7.1}  {:>7.1}  {:>7.1}",
+                r.name,
+                r.source,
+                r.inputs,
+                r.cells,
+                r.collapsed,
+                rep.random_patterns_applied,
+                rep.random_patterns_kept,
+                rep.podem_calls,
+                rep.untestable,
+                rep.aborted,
+                100.0 * rep.testable_coverage(),
+                rep.patterns.len(),
+                rep.patterns_before_compaction,
+                rep.random_ms,
+                rep.deterministic_ms,
+                rep.compaction_ms
+            )?;
+        }
+        writeln!(
+            f,
+            "  cov(test) = detected / (collapsed - untestable); patterns = final/pre-compaction"
+        )?;
+        Ok(())
+    }
+}
+
+/// Full ATPG campaign over [`benchmark_suite`]: enumerate + collapse the
+/// stuck-at universe, then run [`sinw_atpg::tpg::AtpgEngine`] — the
+/// random phase feeds 64-wide blocks through the event-driven PPSFP
+/// kernel with fault dropping, PODEM mops up the remainder (classifying
+/// untestable/aborted faults), and static + reverse-order compaction
+/// shrinks the final pattern set without losing coverage.
+///
+/// The campaign seed is derived per benchmark name (FNV-1a, same scheme
+/// as the `fault_coverage` pattern source), so every row is reproducible
+/// run-to-run. `fast` shrinks the generated circuits and the random
+/// phase for test runs.
+#[must_use]
+pub fn atpg_campaign(fast: bool) -> AtpgCampaignResult {
+    use sinw_atpg::collapse::collapse;
+    use sinw_atpg::fault_list::enumerate_stuck_at;
+    use sinw_atpg::tpg::{AtpgConfig, AtpgEngine};
+
+    let rows = benchmark_suite(fast)
+        .into_iter()
+        .map(|(name, source, circuit)| {
+            let faults = enumerate_stuck_at(&circuit);
+            let collapsed = collapse(&circuit, &faults);
+            let seed = 0x7E57_5E7_u64
+                ^ name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+                });
+            let config = AtpgConfig {
+                seed,
+                max_random_blocks: if fast { 16 } else { 64 },
+                ..AtpgConfig::default()
+            };
+            let engine = AtpgEngine::new(&circuit, config);
+            let report = engine.run(&collapsed.representatives);
+            AtpgCampaignRow {
+                name,
+                source,
+                inputs: circuit.primary_inputs().len(),
+                cells: circuit.gates().len(),
+                faults: faults.len(),
+                collapsed: collapsed.representatives.len(),
+                report,
+            }
+        })
+        .collect();
+    AtpgCampaignResult { rows }
 }
 
 /// Render the XOR2 dictionary in the paper's Table III layout.

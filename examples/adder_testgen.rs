@@ -7,7 +7,7 @@
 use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::{compact_reverse, simulate_faults};
-use sinw_atpg::podem::{generate_test, PodemConfig, PodemResult};
+use sinw_atpg::podem::{fill_cube, generate_test, PodemConfig, PodemResult};
 use sinw_core::cell_aware::{generate_campaign, LiftedTest};
 use sinw_core::dictionary::{build_dictionary, CellDictionary};
 use sinw_device::{TigFet, TigTable};
@@ -37,7 +37,7 @@ fn main() {
     let mut patterns = Vec::new();
     for fault in &collapsed.representatives {
         if let PodemResult::Test(p) = generate_test(&c, *fault, &config) {
-            patterns.push(p);
+            patterns.push(fill_cube(&p, false));
         }
     }
     let report = simulate_faults(&c, &faults, &patterns, true);

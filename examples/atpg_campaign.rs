@@ -1,0 +1,18 @@
+//! Full ATPG campaign over every benchmark: random-pattern phase with
+//! fault dropping, deterministic PODEM phase with untestable/aborted
+//! accounting, and don't-care-aware static + reverse-order compaction —
+//! the pipeline that *produces* a compact, verified test set rather than
+//! simulating one supplied from outside.
+//!
+//! ```text
+//! cargo run --release --example atpg_campaign          # full widths
+//! cargo run --release --example atpg_campaign -- --fast
+//! SINW_ATPG_FAST=1 cargo run --release --example atpg_campaign   # CI smoke
+//! ```
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast")
+        || std::env::var("SINW_ATPG_FAST").is_ok_and(|v| v != "0");
+    let result = sinw::core::experiments::atpg_campaign(fast);
+    print!("{result}");
+}

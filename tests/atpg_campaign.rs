@@ -1,0 +1,163 @@
+//! Golden end-to-end tests of the ATPG campaign engine: pinned coverage
+//! and classification numbers on the embedded fixtures, compaction
+//! soundness, and — the acceptance criterion — the final compacted
+//! pattern set re-verified by an independent `simulate_faults` pass.
+
+use sinw::atpg::faultsim::{seeded_patterns, simulate_faults};
+use sinw::atpg::tpg::{AtpgConfig, AtpgEngine, FaultStatus};
+use sinw::core::experiments::{atpg_campaign, benchmark_suite};
+use sinw::switch::iscas::{parse_bench, C17_BENCH, CSA16_BENCH};
+
+/// c17: 22 collapsed faults, all testable; the random phase plus
+/// dropping leaves nothing for PODEM, and the compacted set still covers
+/// everything — verified by an independent simulation pass.
+#[test]
+fn c17_campaign_reaches_full_coverage() {
+    let c17 = parse_bench(C17_BENCH).expect("embedded c17 parses");
+    let (collapsed, report) = AtpgEngine::run_collapsed(&c17, AtpgConfig::default());
+    assert_eq!(report.total_faults, 22, "c17 collapsed universe");
+    assert_eq!(report.untestable, 0, "c17 has no redundant faults");
+    assert_eq!(report.aborted, 0);
+    assert_eq!(report.detected(), 22);
+    assert_eq!(report.testable_coverage(), 1.0);
+    assert!(
+        report.podem_calls < report.total_faults,
+        "the deterministic phase must target strictly fewer faults than \
+         the collapsed universe (got {} of {})",
+        report.podem_calls,
+        report.total_faults
+    );
+    // Final pattern count bounds: compaction has to do real work on the
+    // random-phase keeps (exhaustive lower bound for c17 is 4 patterns).
+    assert!(
+        (4..=10).contains(&report.patterns.len()),
+        "c17 final set out of bounds: {} patterns",
+        report.patterns.len()
+    );
+    assert!(report.patterns.len() <= report.patterns_before_compaction);
+    // Independent verification (public PPSFP engine, not the campaign's
+    // internal kernel calls).
+    let check = simulate_faults(&c17, &collapsed.representatives, &report.patterns, true);
+    assert_eq!(check.detected.len(), 22, "compacted set re-verified");
+}
+
+/// csa16: 626 collapsed faults of which exactly three — the select-pin
+/// faults of the speculative carry muxes — are redundant (proven by the
+/// static prover, not aborted), and every testable fault is detected.
+#[test]
+fn csa16_campaign_reaches_full_testable_coverage() {
+    let csa = parse_bench(CSA16_BENCH).expect("embedded csa16 parses");
+    let (collapsed, report) = AtpgEngine::run_collapsed(&csa, AtpgConfig::default());
+    assert_eq!(report.total_faults, 626, "csa16 collapsed universe");
+    assert_eq!(
+        report.untestable, 3,
+        "the three carry-select mux redundancies are proven, not aborted"
+    );
+    assert_eq!(report.aborted, 0, "no fault is abandoned");
+    assert_eq!(report.detected(), 623);
+    assert_eq!(report.testable_coverage(), 1.0);
+    assert!(report.podem_calls < report.total_faults);
+    assert!(
+        report.patterns.len() <= 64,
+        "csa16 compacted set stays small: {} patterns",
+        report.patterns.len()
+    );
+    assert!(report.patterns.len() <= report.patterns_before_compaction);
+    // Independent verification of the compacted set.
+    let check = simulate_faults(&csa, &collapsed.representatives, &report.patterns, true);
+    assert_eq!(check.detected.len(), 623, "compacted set re-verified");
+    // The redundancy verdicts hold up against a large random barrage.
+    let untestable: Vec<_> = collapsed
+        .representatives
+        .iter()
+        .zip(&report.statuses)
+        .filter(|(_, s)| **s == FaultStatus::Untestable)
+        .map(|(f, _)| *f)
+        .collect();
+    assert_eq!(untestable.len(), 3);
+    let barrage = seeded_patterns(csa.primary_inputs().len(), 2048, 0xBAD_CAFE);
+    let red = simulate_faults(&csa, &untestable, &barrage, false);
+    assert!(
+        red.detected.is_empty(),
+        "a fault classified Untestable was detected"
+    );
+}
+
+/// Reverse-order compaction never reduces coverage: with and without
+/// compaction the same faults are detected, and the compacted set is no
+/// larger.
+#[test]
+fn compaction_never_reduces_coverage() {
+    for text in [C17_BENCH, CSA16_BENCH] {
+        let c = parse_bench(text).expect("embedded fixture parses");
+        let config = AtpgConfig::default();
+        let (collapsed, full) = AtpgEngine::run_collapsed(&c, config);
+        let (_, raw) = AtpgEngine::run_collapsed(
+            &c,
+            AtpgConfig {
+                compact: false,
+                ..config
+            },
+        );
+        assert_eq!(full.detected(), raw.detected(), "compaction lost faults");
+        assert!(full.patterns.len() <= raw.patterns.len());
+        let a = simulate_faults(&c, &collapsed.representatives, &full.patterns, true);
+        let b = simulate_faults(&c, &collapsed.representatives, &raw.patterns, true);
+        assert_eq!(a.detected, b.detected, "same detected set either way");
+    }
+}
+
+/// Starving the random phase forces the deterministic phase to do the
+/// work — and it still reaches full testable coverage, with collateral
+/// dropping keeping the PODEM call count strictly below the universe.
+#[test]
+fn deterministic_phase_carries_a_starved_random_phase() {
+    let csa = parse_bench(CSA16_BENCH).expect("embedded csa16 parses");
+    let config = AtpgConfig {
+        max_random_blocks: 1,
+        random_window: 1,
+        ..AtpgConfig::default()
+    };
+    let (collapsed, report) = AtpgEngine::run_collapsed(&csa, config);
+    assert!(report.podem_calls > 0, "PODEM must engage");
+    assert!(report.podem_calls < collapsed.representatives.len());
+    assert_eq!(report.aborted, 0);
+    assert_eq!(report.testable_coverage(), 1.0);
+    assert!(report.detected_deterministic > 0);
+    let check = simulate_faults(&csa, &collapsed.representatives, &report.patterns, true);
+    assert_eq!(check.detected.len(), report.detected());
+}
+
+/// The experiments driver: every benchmark row reaches 100 % coverage of
+/// its testable collapsed faults and every final pattern set re-verifies
+/// under an independent `simulate_faults` pass.
+#[test]
+fn atpg_campaign_driver_rows_are_verified() {
+    let result = atpg_campaign(true);
+    let suite = benchmark_suite(true);
+    assert_eq!(result.rows.len(), suite.len());
+    for ((name, _, circuit), row) in suite.iter().zip(&result.rows) {
+        assert_eq!(&row.name, name);
+        let rep = &row.report;
+        assert_eq!(rep.aborted, 0, "{name}: aborted faults");
+        assert_eq!(rep.testable_coverage(), 1.0, "{name}: coverage");
+        assert!(
+            rep.podem_calls < row.collapsed,
+            "{name}: deterministic phase must target fewer faults than \
+             the collapsed universe"
+        );
+        assert!(!rep.patterns.is_empty(), "{name}: empty pattern set");
+        assert!(rep.patterns.len() <= rep.patterns_before_compaction);
+        // Re-verify each compacted set independently: re-collapse and
+        // fault-simulate from scratch.
+        let faults = sinw::atpg::fault_list::enumerate_stuck_at(circuit);
+        let collapsed = sinw::atpg::collapse::collapse(circuit, &faults);
+        assert_eq!(collapsed.representatives.len(), row.collapsed);
+        let check = simulate_faults(circuit, &collapsed.representatives, &rep.patterns, true);
+        assert_eq!(check.detected.len(), rep.detected(), "{name}: verification");
+    }
+    let c17 = result.row("c17").expect("driver includes c17");
+    assert_eq!(c17.report.testable_coverage(), 1.0);
+    let csa16 = result.row("csa16").expect("driver includes csa16");
+    assert_eq!(csa16.report.untestable, 3);
+}

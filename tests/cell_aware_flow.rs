@@ -4,7 +4,7 @@
 use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::simulate_faults;
-use sinw_atpg::podem::{generate_test, PodemConfig, PodemResult};
+use sinw_atpg::podem::{fill_cube, generate_test, PodemConfig, PodemResult};
 use sinw_core::cell_aware::{generate_campaign, LiftedTest};
 use sinw_core::dictionary::{build_dictionary, CellDictionary};
 use sinw_device::{TigFet, TigTable};
@@ -34,7 +34,7 @@ fn classical_atpg_covers_the_ripple_adder() {
     let mut untestable = 0usize;
     for fault in &collapsed.representatives {
         match generate_test(&c, *fault, &config) {
-            PodemResult::Test(p) => patterns.push(p),
+            PodemResult::Test(p) => patterns.push(fill_cube(&p, false)),
             PodemResult::Untestable => untestable += 1,
             PodemResult::Aborted => panic!("aborted on {}", fault.describe(&c)),
         }

@@ -53,19 +53,28 @@ fn switch_api_reachable() {
     assert!(!r.rail_short, "healthy XOR2 must not short the rails");
 }
 
-/// `sinw-atpg`: enumerate a fault list and generate one test.
+/// `sinw-atpg`: enumerate a fault list, generate one test, and run the
+/// campaign engine end to end.
 #[test]
 fn atpg_api_reachable() {
-    use sinw_atpg::{enumerate_stuck_at, generate_test, PodemConfig, PodemResult};
+    use sinw_atpg::{
+        enumerate_stuck_at, fill_cube, generate_test, AtpgConfig, AtpgEngine, PodemConfig,
+        PodemResult,
+    };
     use sinw_switch::gate::Circuit;
 
     let c17 = Circuit::c17();
     let faults = enumerate_stuck_at(&c17);
     assert!(!faults.is_empty(), "c17 has a non-empty fault universe");
     match generate_test(&c17, faults[0], &PodemConfig::default()) {
-        PodemResult::Test(p) => assert_eq!(p.len(), 5),
+        PodemResult::Test(p) => {
+            assert_eq!(p.len(), 5, "one cube entry per PI");
+            assert_eq!(fill_cube(&p, false).len(), 5);
+        }
         other => panic!("c17 is fully testable, got {other:?}"),
     }
+    let (_, report) = AtpgEngine::run_collapsed(&c17, AtpgConfig::default());
+    assert_eq!(report.testable_coverage(), 1.0);
 }
 
 /// `sinw-core`: run the cheapest paper driver (Table I needs no analog).
