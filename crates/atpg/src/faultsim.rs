@@ -50,7 +50,7 @@
 use crate::fault_list::{FaultSite, StuckAtFault};
 use crate::graph::SimGraph;
 use sinw_switch::cells::CellKind;
-use sinw_switch::gate::{Circuit, GateId};
+use sinw_switch::gate::{Circuit, GateId, SignalId};
 
 /// A block of up to 64 fully-specified input patterns.
 ///
@@ -338,6 +338,11 @@ impl FaultSimScratch {
 /// `scratch` must have been sized by `ensure_graph` for `graph`.
 /// Crate-visible so the `tpg` campaign loop can run every phase on the
 /// same hot kernel (and the same shared graph/scratch) as the engines.
+///
+/// [`event_po_diffs`] is this kernel's signature-capture twin — the
+/// seeding, drain and write-back logic must stay in lockstep (the
+/// `signature_capture_agrees_with_the_detect_engines` property pins the
+/// agreement; apply kernel changes to both).
 pub(crate) fn event_detect_mask(
     graph: &SimGraph,
     fault: StuckAtFault,
@@ -447,6 +452,119 @@ pub(crate) fn event_detect_mask(
         lvl += 1;
     }
     detect
+}
+
+/// The event-driven faulty pass in **signature-capture** form: instead of
+/// OR-ing PO differences into one detection mask (and short-circuiting on
+/// saturation), propagate the fault effect through the whole disturbed
+/// cone and report the per-PO difference words.
+///
+/// `po_diff[o]` receives, for primary output `o` of `po_signals`, the
+/// bitmask of patterns in the block whose faulty response differs from the
+/// good machine at that output. The cone restriction and the cheap
+/// undetectability proofs of [`event_detect_mask`] are preserved; only the
+/// early exit on mask saturation is dropped (a saturated *detection* mask
+/// does not mean every *output* difference has been seen).
+///
+/// `scratch` must have been sized by `ensure_graph` for `graph`.
+pub(crate) fn event_po_diffs(
+    graph: &SimGraph,
+    fault: StuckAtFault,
+    block_mask: u64,
+    good: &[u64],
+    scratch: &mut FaultSimScratch,
+    po_signals: &[SignalId],
+    po_diff: &mut [u64],
+) {
+    debug_assert_eq!(po_signals.len(), po_diff.len());
+    po_diff.fill(0);
+    let stuck = if fault.value { u64::MAX } else { 0 };
+    let epoch = scratch.begin_pass();
+    let (mut lo, mut hi) = (usize::MAX, 0usize);
+
+    // Seed at the fault site, with the same two bail-outs as the
+    // detect-mask kernel: an unexcited fault or an unobservable site
+    // cannot produce any PO difference.
+    match fault.site {
+        FaultSite::Signal(s) => {
+            if graph.po_reach(s) == 0 || good[s.0] == stuck {
+                return;
+            }
+            scratch.faulty[s.0] = stuck;
+            scratch.stamp[s.0] = epoch;
+            for &g in graph.consumers(s) {
+                scratch.enqueue(graph, g, epoch, &mut lo, &mut hi);
+            }
+        }
+        FaultSite::GatePin(g, pin) => {
+            let out = graph.gate_output(g);
+            let in_sig = graph.gate_inputs(g)[pin] as usize;
+            if graph.po_reach(out) == 0 || good[in_sig] == stuck {
+                return;
+            }
+            scratch.enqueue(graph, g.0 as u32, epoch, &mut lo, &mut hi);
+        }
+    }
+
+    // Drain levels in ascending order, exactly as in the detect-mask
+    // kernel, but never stop early: the final faulty word of every
+    // disturbed signal is needed to read complete PO responses.
+    if lo != usize::MAX {
+        let mut lvl = lo;
+        while lvl <= hi {
+            let mut bucket = std::mem::take(&mut scratch.buckets[lvl]);
+            for &gi in &bucket {
+                let gate = GateId(gi as usize);
+                let gate_ins = graph.gate_inputs(gate);
+                let mut ins = [0u64; 3];
+                for (pin, &s) in gate_ins.iter().enumerate() {
+                    let s = s as usize;
+                    ins[pin] = if scratch.stamp[s] == epoch {
+                        scratch.faulty[s]
+                    } else {
+                        good[s]
+                    };
+                }
+                if let FaultSite::GatePin(fg, fpin) = fault.site {
+                    if fg == gate {
+                        ins[fpin] = stuck;
+                    }
+                }
+                let out = eval_word(graph.kind(gate), &ins[..gate_ins.len()]);
+                let osig = graph.gate_output(gate);
+                let o = osig.0;
+                let cur = if scratch.stamp[o] == epoch {
+                    scratch.faulty[o]
+                } else {
+                    good[o]
+                };
+                if out == cur {
+                    continue;
+                }
+                scratch.faulty[o] = out;
+                scratch.stamp[o] = epoch;
+                if graph.po_reach(osig) != 0 {
+                    for &g in graph.consumers(osig) {
+                        debug_assert!(graph.gate_level(GateId(g as usize)) > lvl);
+                        scratch.enqueue(graph, g, epoch, &mut lo, &mut hi);
+                    }
+                }
+            }
+            bucket.clear();
+            scratch.buckets[lvl] = bucket;
+            lvl += 1;
+        }
+    }
+
+    // Read the complete per-PO responses off the settled scratch:
+    // undisturbed outputs read straight from the good machine and
+    // contribute a zero diff word.
+    for (slot, po) in po_diff.iter_mut().zip(po_signals) {
+        let SignalId(s) = *po;
+        if scratch.stamp[s] == epoch {
+            *slot = (scratch.faulty[s] ^ good[s]) & block_mask;
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -789,6 +907,275 @@ pub fn compact_reverse(
     kept
 }
 
+// ----------------------------------------------------------------------
+// Signature capture (the fourth engine mode)
+// ----------------------------------------------------------------------
+
+/// The full per-fault × per-pattern × per-PO response signature of a fault
+/// list against a pattern set — the raw material of the circuit-level
+/// fault dictionary ([`crate::diagnose`]).
+///
+/// Row `f` is a bit vector over `(pattern, output)` pairs: bit
+/// `pattern * outputs + output` is set when the pattern's faulty response
+/// under fault `f` differs from the good machine at that primary output.
+/// Rows are produced by the same event-driven kernel as the detect-mask
+/// engines, but with **no fault dropping and no saturation short-circuit**
+/// — every pattern is simulated against every fault, because diagnosis
+/// needs the pass/fail outcome of *all* (pattern, output) probes, not
+/// just the first detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureMatrix {
+    /// Number of faults (rows).
+    n_faults: usize,
+    /// Number of patterns.
+    n_patterns: usize,
+    /// Number of primary outputs.
+    n_outputs: usize,
+    /// Words per row: `ceil(n_patterns * n_outputs / 64)`.
+    words_per_row: usize,
+    /// Row-major packed bits, `n_faults * words_per_row` words.
+    bits: Vec<u64>,
+}
+
+impl SignatureMatrix {
+    fn zeroed(n_faults: usize, n_patterns: usize, n_outputs: usize) -> Self {
+        let words_per_row = (n_patterns * n_outputs).div_ceil(64);
+        SignatureMatrix {
+            n_faults,
+            n_patterns,
+            n_outputs,
+            words_per_row,
+            bits: vec![0u64; n_faults * words_per_row],
+        }
+    }
+
+    /// Number of faults (rows).
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.n_faults
+    }
+
+    /// Number of patterns each row spans.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Number of primary outputs each row spans.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Packed words per row.
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// One fault's packed signature row.
+    #[must_use]
+    pub fn row(&self, fault: usize) -> &[u64] {
+        &self.bits[fault * self.words_per_row..(fault + 1) * self.words_per_row]
+    }
+
+    /// Whether `pattern` produces a faulty value at `output` under `fault`.
+    #[must_use]
+    pub fn fails(&self, fault: usize, pattern: usize, output: usize) -> bool {
+        assert!(pattern < self.n_patterns && output < self.n_outputs);
+        let bit = pattern * self.n_outputs + output;
+        self.row(fault)[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Whether any (pattern, output) probe exposes the fault — the
+    /// signature-side notion of "detected".
+    #[must_use]
+    pub fn is_detected(&self, fault: usize) -> bool {
+        self.row(fault).iter().any(|w| *w != 0)
+    }
+
+    /// Index of the first pattern that exposes the fault at some output,
+    /// or `None` for an all-pass row.
+    #[must_use]
+    pub fn first_failing_pattern(&self, fault: usize) -> Option<usize> {
+        for (wi, w) in self.row(fault).iter().enumerate() {
+            if *w != 0 {
+                let bit = wi * 64 + w.trailing_zeros() as usize;
+                return Some(bit / self.n_outputs);
+            }
+        }
+        None
+    }
+
+    /// Total size of the packed matrix in bytes (the *uncompressed*
+    /// per-fault baseline the dictionary's class merging is measured
+    /// against).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// Capture rows for a contiguous chunk of faults into `out` (row-major,
+/// `words_per_row` words per fault), reusing one scratch per call — the
+/// per-worker inner loop of every capture engine.
+fn capture_rows(
+    graph: &SimGraph,
+    po_signals: &[SignalId],
+    faults: &[StuckAtFault],
+    prepared: &PreparedPatterns,
+    block_size: usize,
+    n_outputs: usize,
+    words_per_row: usize,
+    out: &mut [u64],
+) {
+    let mut scratch = FaultSimScratch::new();
+    scratch.ensure_graph(graph);
+    let mut po_diff = vec![0u64; n_outputs];
+    for (fi, &fault) in faults.iter().enumerate() {
+        let row = &mut out[fi * words_per_row..(fi + 1) * words_per_row];
+        for (bi, (block, good)) in prepared.blocks.iter().enumerate() {
+            event_po_diffs(
+                graph,
+                fault,
+                block.mask(),
+                good,
+                &mut scratch,
+                po_signals,
+                &mut po_diff,
+            );
+            for (o, &diff) in po_diff.iter().enumerate() {
+                let mut w = diff;
+                while w != 0 {
+                    let k = w.trailing_zeros() as usize;
+                    let bit = (bi * block_size + k) * n_outputs + o;
+                    row[bit / 64] |= 1u64 << (bit % 64);
+                    w &= w - 1;
+                }
+            }
+        }
+    }
+}
+
+/// Shared setup of every capture engine: allocate the matrix, prepare
+/// the blocks and the [`SimGraph`] once, then fill the rows — on this
+/// thread when `threads <= 1`, otherwise across scoped workers on
+/// contiguous fault chunks (disjoint `chunks_mut` row slices, so the
+/// result is bit-identical regardless of worker count).
+fn capture_with(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    block_size: usize,
+    threads: usize,
+) -> SignatureMatrix {
+    let mut sig = SignatureMatrix::zeroed(
+        faults.len(),
+        patterns.len(),
+        circuit.primary_outputs().len(),
+    );
+    if sig.bits.is_empty() {
+        return sig;
+    }
+    let prepared = prepare(circuit, patterns, block_size);
+    let graph = SimGraph::build(circuit);
+    let words_per_row = sig.words_per_row;
+    let n_outputs = sig.n_outputs;
+    let threads = threads.clamp(1, faults.len());
+    if threads == 1 {
+        capture_rows(
+            &graph,
+            circuit.primary_outputs(),
+            faults,
+            &prepared,
+            block_size,
+            n_outputs,
+            words_per_row,
+            &mut sig.bits,
+        );
+        return sig;
+    }
+    let chunk = faults.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = faults
+            .chunks(chunk)
+            .zip(sig.bits.chunks_mut(chunk * words_per_row))
+            .map(|(slice, rows)| {
+                let prepared = &prepared;
+                let graph = &graph;
+                let po_signals = circuit.primary_outputs();
+                s.spawn(move || {
+                    capture_rows(
+                        graph,
+                        po_signals,
+                        slice,
+                        prepared,
+                        block_size,
+                        n_outputs,
+                        words_per_row,
+                        rows,
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("signature-capture worker panicked");
+        }
+    });
+    sig
+}
+
+/// Signature capture on the 64-way bit-parallel engine: the full
+/// per-fault × per-pattern × per-PO response matrix of `faults` against
+/// `patterns`.
+///
+/// Unlike the detect-mask engines there is deliberately **no fault
+/// dropping** and no saturation short-circuit — diagnosis needs every
+/// probe outcome. The inner loop is still the event-driven
+/// fanout-cone-restricted kernel over a shared [`SimGraph`].
+#[must_use]
+pub fn capture_signatures(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+) -> SignatureMatrix {
+    capture_with(circuit, faults, patterns, 64, 1)
+}
+
+/// [`capture_signatures`] one pattern at a time — the ablation baseline
+/// for bit-parallelism, reporting a bit-identical matrix.
+#[must_use]
+pub fn capture_signatures_serial(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+) -> SignatureMatrix {
+    capture_with(circuit, faults, patterns, 1, 1)
+}
+
+/// Thread-parallel signature capture: the fault list is split into
+/// contiguous chunks, one per worker, on top of the 64-way blocks —
+/// the same partitioning as [`simulate_faults_threaded`], with the same
+/// shared read-only [`SimGraph`]/good-machine precompute and one private
+/// [`FaultSimScratch`] per worker. `threads = 0` auto-detects.
+///
+/// Rows land in fault order, so the matrix is bit-identical to
+/// [`capture_signatures`].
+#[must_use]
+pub fn capture_signatures_threaded(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    threads: usize,
+) -> SignatureMatrix {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    capture_with(circuit, faults, patterns, 64, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -940,6 +1327,87 @@ mod tests {
                     fault.describe(&c)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn signature_capture_matches_per_bit_full_pass_responses() {
+        // Every bit of the signature matrix cross-checked against the
+        // whole-circuit reference simulators, one pattern at a time.
+        for c in [Circuit::c17(), Circuit::full_adder()] {
+            let faults = enumerate_stuck_at(&c);
+            let n_pi = c.primary_inputs().len();
+            let patterns = random_patterns(n_pi, 70, 5);
+            let sig = capture_signatures(&c, &faults, &patterns);
+            assert_eq!(sig, capture_signatures_serial(&c, &faults, &patterns));
+            assert_eq!(sig, capture_signatures_threaded(&c, &faults, &patterns, 3));
+            for (p, pattern) in patterns.iter().enumerate() {
+                let block = PatternBlock::pack(&c, std::slice::from_ref(pattern));
+                let good = good_sim(&c, &block);
+                for (fi, &fault) in faults.iter().enumerate() {
+                    let faulty = faulty_sim(&c, fault, &block);
+                    for (o, po) in c.primary_outputs().iter().enumerate() {
+                        assert_eq!(
+                            sig.fails(fi, p, o),
+                            (good[po.0] ^ faulty[po.0]) & 1 != 0,
+                            "{} at pattern {p}, PO {o}",
+                            fault.describe(&c)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_detection_agrees_with_the_detect_mask_engines() {
+        let c = Circuit::ripple_adder(3);
+        let faults = enumerate_stuck_at(&c);
+        let patterns = random_patterns(c.primary_inputs().len(), 100, 42);
+        let sig = capture_signatures(&c, &faults, &patterns);
+        let report = simulate_faults(&c, &faults, &patterns, false);
+        for fi in 0..faults.len() {
+            assert_eq!(
+                sig.is_detected(fi),
+                report.detected.contains(&fi),
+                "{}",
+                faults[fi].describe(&c)
+            );
+        }
+        // First-failing patterns reproduce the first-detection profile.
+        let mut firsts = vec![0usize; patterns.len()];
+        for fi in 0..faults.len() {
+            if let Some(p) = sig.first_failing_pattern(fi) {
+                firsts[p] += 1;
+            }
+        }
+        assert_eq!(firsts, report.first_detections);
+    }
+
+    #[test]
+    fn signature_capture_handles_degenerate_inputs() {
+        let c = Circuit::c17();
+        let faults = enumerate_stuck_at(&c);
+        // Empty pattern set: zero-width rows, nothing detected.
+        let sig = capture_signatures(&c, &faults, &[]);
+        assert_eq!(sig.fault_count(), faults.len());
+        assert_eq!(sig.pattern_count(), 0);
+        assert_eq!(sig.words_per_row(), 0);
+        assert_eq!(sig.bytes(), 0);
+        assert!(!sig.is_detected(0));
+        assert_eq!(sig.first_failing_pattern(0), None);
+        // Empty fault list.
+        let patterns = random_patterns(5, 8, 1);
+        let empty = capture_signatures_threaded(&c, &[], &patterns, 4);
+        assert_eq!(empty.fault_count(), 0);
+        // Edge worker counts agree with the single-threaded engine.
+        let reference = capture_signatures(&c, &faults, &patterns);
+        for threads in [1usize, 3, faults.len() + 10, 0] {
+            assert_eq!(
+                capture_signatures_threaded(&c, &faults, &patterns, threads),
+                reference,
+                "threads = {threads}"
+            );
         }
     }
 

@@ -15,6 +15,11 @@
 //! * [`graph`] — the levelized [`SimGraph`] precompute (topological
 //!   levels, CSR fanout, PO-reachability masks) shared read-only by
 //!   every fault, block and worker;
+//! * [`diagnose`] — the circuit-level fault dictionary + diagnosis
+//!   engine, built on the **signature-capture** mode of [`faultsim`]
+//!   (the full per-fault × per-pattern × per-PO response, no dropping):
+//!   indistinguishability-class compression and ranked candidate lookup
+//!   from observed failing responses;
 //! * [`collapse`](mod@collapse) — structural fault-equivalence collapsing;
 //! * [`redundancy`] — static untestability proofs (mandatory
 //!   assignments + implication closure + small-support exhaustive
@@ -46,6 +51,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod collapse;
+pub mod diagnose;
 pub mod fault_list;
 pub mod faultsim;
 pub mod graph;
@@ -56,10 +62,14 @@ pub mod tpg;
 pub mod twin;
 
 pub use collapse::{collapse, CollapsedFaults};
+pub use diagnose::{
+    full_pass_observations, DiagnosisCandidate, DiagnosisReport, DictionaryStats, FaultDictionary,
+};
 pub use fault_list::{enumerate_stuck_at, FaultSite, StuckAtFault};
 pub use faultsim::{
-    seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_serial,
-    simulate_faults_threaded, FaultSimReport, FaultSimScratch, PackError, PatternBlock,
+    capture_signatures, capture_signatures_serial, capture_signatures_threaded, seeded_patterns,
+    simulate_faults, simulate_faults_full_pass, simulate_faults_serial, simulate_faults_threaded,
+    FaultSimReport, FaultSimScratch, PackError, PatternBlock, SignatureMatrix,
 };
 pub use graph::SimGraph;
 pub use podem::{

@@ -490,6 +490,155 @@ mod tests {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Direct unit tests of the prover internals (mandatory-assignment
+    // extraction and implication closure) on hand-built cones — the
+    // pieces the campaign goldens only exercise end to end.
+    // ------------------------------------------------------------------
+
+    /// `s1 = NAND(a, b)` feeds a single-fanout chain `s2 = NAND(s1, c)`,
+    /// `s3 = NOR(s2, d)`: a stem fault on `s1` must collect the
+    /// activation value plus the non-controlling side inputs of both
+    /// dominators.
+    #[test]
+    fn mandatory_collects_activation_and_dominator_side_inputs() {
+        let mut circuit = Circuit::new();
+        let a = circuit.add_input("a");
+        let b = circuit.add_input("b");
+        let c = circuit.add_input("c");
+        let d = circuit.add_input("d");
+        let s1 = circuit.add_gate(CellKind::Nand2, "s1", &[a, b]);
+        let s2 = circuit.add_gate(CellKind::Nand2, "s2", &[s1, c]);
+        let s3 = circuit.add_gate(CellKind::Nor2, "s3", &[s2, d]);
+        circuit.mark_output(s3);
+        let prover = RedundancyProver::new(&circuit);
+        let cons = prover
+            .mandatory(StuckAtFault::sa0(FaultSite::Signal(s1)))
+            .expect("observable cone");
+        assert!(cons.contains(&(s1, true)), "activation at the complement");
+        assert!(cons.contains(&(c, true)), "NAND dominator side input");
+        assert!(cons.contains(&(d, false)), "NOR dominator side input");
+        assert_eq!(cons.len(), 3, "nothing else is mandatory: {cons:?}");
+    }
+
+    /// The dominator walk stops at fanout stems: once the effect signal
+    /// feeds two gates, no single gate dominates it.
+    #[test]
+    fn mandatory_walk_stops_at_fanout_stems() {
+        let mut circuit = Circuit::new();
+        let a = circuit.add_input("a");
+        let b = circuit.add_input("b");
+        let c = circuit.add_input("c");
+        let s1 = circuit.add_gate(CellKind::Nand2, "s1", &[a, b]);
+        let o1 = circuit.add_gate(CellKind::Nand2, "o1", &[s1, c]);
+        let o2 = circuit.add_gate(CellKind::Inv, "o2", &[s1]);
+        circuit.mark_output(o1);
+        circuit.mark_output(o2);
+        let prover = RedundancyProver::new(&circuit);
+        let cons = prover
+            .mandatory(StuckAtFault::sa1(FaultSite::Signal(s1)))
+            .expect("observable cone");
+        assert_eq!(cons, vec![(s1, false)], "activation only: {cons:?}");
+    }
+
+    /// An effect signal that is itself a primary output needs no
+    /// propagation constraints even if it also feeds further logic.
+    #[test]
+    fn mandatory_walk_stops_at_observable_stems() {
+        let mut circuit = Circuit::new();
+        let a = circuit.add_input("a");
+        let b = circuit.add_input("b");
+        let s1 = circuit.add_gate(CellKind::Nand2, "s1", &[a, b]);
+        let s2 = circuit.add_gate(CellKind::Nand2, "s2", &[s1, b]);
+        circuit.mark_output(s1);
+        circuit.mark_output(s2);
+        let prover = RedundancyProver::new(&circuit);
+        let cons = prover
+            .mandatory(StuckAtFault::sa0(FaultSite::Signal(s1)))
+            .expect("directly observable");
+        assert_eq!(cons, vec![(s1, true)], "activation only: {cons:?}");
+    }
+
+    /// A pin fault adds the faulted gate's own side inputs (effect
+    /// creation) before the dominator walk starts at its output.
+    #[test]
+    fn mandatory_pin_fault_requires_side_inputs_non_controlling() {
+        let mut circuit = Circuit::new();
+        let a = circuit.add_input("a");
+        let b = circuit.add_input("b");
+        let o = circuit.add_gate(CellKind::Nand2, "g", &[a, b]);
+        let _other = circuit.add_gate(CellKind::Inv, "other", &[a]);
+        circuit.mark_output(o);
+        circuit.mark_output(_other);
+        let prover = RedundancyProver::new(&circuit);
+        let cons = prover
+            .mandatory(StuckAtFault::sa1(FaultSite::GatePin(GateId(0), 0)))
+            .expect("observable");
+        assert!(cons.contains(&(a, false)), "activation on the stem");
+        assert!(cons.contains(&(b, true)), "side pin non-controlling");
+        assert_eq!(cons.len(), 2, "{cons:?}");
+    }
+
+    /// A fault whose effect origin has no fanout and is not a PO is
+    /// unobservable: `mandatory` reports `None` (an immediate proof).
+    #[test]
+    fn mandatory_is_none_in_a_dead_cone() {
+        let mut circuit = Circuit::new();
+        let a = circuit.add_input("a");
+        let kept = circuit.add_gate(CellKind::Inv, "kept", &[a]);
+        let dead = circuit.add_gate(CellKind::Inv, "dead", &[kept]);
+        circuit.mark_output(kept);
+        let prover = RedundancyProver::new(&circuit);
+        assert!(prover
+            .mandatory(StuckAtFault::sa1(FaultSite::Signal(dead)))
+            .is_none());
+    }
+
+    /// Forward and backward implications reach their fixpoint: NAND
+    /// output 0 pins both inputs high; a known XOR output with one
+    /// unknown input solves it; a MAJ output with one dissenting input
+    /// pins the remaining inputs to the output value; INV runs both ways.
+    #[test]
+    fn closure_implies_forward_and_backward() {
+        let mut circuit = Circuit::new();
+        let a = circuit.add_input("a");
+        let b = circuit.add_input("b");
+        let c = circuit.add_input("c");
+        let n = circuit.add_gate(CellKind::Nand2, "n", &[a, b]);
+        let x = circuit.add_gate(CellKind::Xor2, "x", &[n, c]);
+        let i = circuit.add_gate(CellKind::Inv, "i", &[x]);
+        let m = circuit.add_gate(CellKind::Maj3, "m", &[a, b, c]);
+        circuit.mark_output(i);
+        circuit.mark_output(m);
+        let prover = RedundancyProver::new(&circuit);
+        // n = 0 (backward: a = b = 1) and i = 1 (backward: x = 0;
+        // then x = XOR(n=0, c) = 0 forces c = 0; forward: m = MAJ(1,1,0)
+        // = 1).
+        let values = prover
+            .closure(&[(n, false), (i, true)])
+            .expect("consistent constraint set");
+        assert_eq!(values[a.0], Some(true), "NAND backward");
+        assert_eq!(values[b.0], Some(true), "NAND backward");
+        assert_eq!(values[x.0], Some(false), "INV backward");
+        assert_eq!(values[c.0], Some(false), "XOR solved for the unknown");
+        assert_eq!(values[m.0], Some(true), "MAJ forward");
+    }
+
+    /// A contradictory mandatory set is detected as a conflict (`None`)
+    /// rather than silently producing values.
+    #[test]
+    fn closure_detects_conflicts() {
+        let mut circuit = Circuit::new();
+        let a = circuit.add_input("a");
+        let i = circuit.add_gate(CellKind::Inv, "i", &[a]);
+        circuit.mark_output(i);
+        let prover = RedundancyProver::new(&circuit);
+        assert!(prover.closure(&[(a, true), (i, true)]).is_none());
+        // And a consistent set on the same cone is fine.
+        let values = prover.closure(&[(a, true)]).expect("consistent");
+        assert_eq!(values[i.0], Some(false));
+    }
+
     #[test]
     fn dead_cone_faults_are_proven_unobservable() {
         let mut c = Circuit::new();

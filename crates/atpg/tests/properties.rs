@@ -3,8 +3,10 @@
 
 use proptest::prelude::*;
 use sinw_atpg::collapse::collapse;
+use sinw_atpg::diagnose::{full_pass_observations, FaultDictionary};
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::{
+    capture_signatures, capture_signatures_serial, capture_signatures_threaded, compact_reverse,
     detect_mask, detect_mask_in, seeded_patterns, simulate_faults, simulate_faults_full_pass,
     simulate_faults_serial, simulate_faults_threaded, FaultSimScratch, PatternBlock,
 };
@@ -302,6 +304,111 @@ proptest! {
                 "{}",
                 fault.describe(&c)
             );
+        }
+    }
+
+    /// Engine agreement for the signature-capture mode: the serial,
+    /// 64-way and threaded captures are bit-identical on random circuits
+    /// × fault subsets × pattern blocks, and a fault's signature is
+    /// nonzero **iff** the detect-mask engines
+    /// (`simulate_faults{,_serial,_threaded}`) report it detected — with
+    /// the first failing pattern reproducing the first-detection profile.
+    #[test]
+    fn signature_capture_agrees_with_the_detect_engines(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..24,
+        n_patterns in 1usize..150,
+        keep_one_in in 1usize..4,
+        threads in 1usize..5,
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let universe = enumerate_stuck_at(&c);
+        let faults: Vec<_> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % keep_one_in == 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let pattern_seed = seed.iter().fold(3u64, |acc, b| acc.wrapping_mul(37) ^ u64::from(*b));
+        let patterns = seeded_patterns(5, n_patterns, pattern_seed);
+
+        let sig = capture_signatures(&c, &faults, &patterns);
+        prop_assert_eq!(&sig, &capture_signatures_serial(&c, &faults, &patterns));
+        prop_assert_eq!(
+            &sig,
+            &capture_signatures_threaded(&c, &faults, &patterns, threads)
+        );
+
+        let detected: Vec<usize> = (0..faults.len()).filter(|fi| sig.is_detected(*fi)).collect();
+        let par = simulate_faults(&c, &faults, &patterns, false);
+        let ser = simulate_faults_serial(&c, &faults, &patterns, false);
+        let thr = simulate_faults_threaded(&c, &faults, &patterns, false, threads);
+        prop_assert_eq!(&detected, &par.detected);
+        prop_assert_eq!(&detected, &ser.detected);
+        prop_assert_eq!(&detected, &thr.detected);
+        // Dropping changes nothing about which faults are detected.
+        let dropped = simulate_faults(&c, &faults, &patterns, true);
+        prop_assert_eq!(&detected, &dropped.detected);
+
+        // The signature's first failing pattern reproduces the engines'
+        // first-detection credit, bit for bit.
+        let mut firsts = vec![0usize; patterns.len()];
+        for fi in 0..faults.len() {
+            if let Some(p) = sig.first_failing_pattern(fi) {
+                firsts[p] += 1;
+            }
+        }
+        prop_assert_eq!(&firsts, &par.first_detections);
+    }
+
+    /// The diagnosis round trip: inject a random collapsed stuck-at
+    /// fault, simulate its observable response with the independent
+    /// full-pass oracle, and the dictionary must rank the true fault's
+    /// indistinguishability class first (as a unique exact match) —
+    /// across serial/threaded dictionary builds and with/without
+    /// reverse-order pattern compaction.
+    #[test]
+    fn diagnosis_ranks_the_true_class_first(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..14,
+        n_patterns in 1usize..60,
+        threaded in any::<bool>(),
+        compacted in any::<bool>(),
+        pick in any::<u64>(),
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let universe = enumerate_stuck_at(&c);
+        let collapsed = collapse(&c, &universe);
+        let pattern_seed = seed.iter().fold(11u64, |acc, b| acc.wrapping_mul(41) ^ u64::from(*b));
+        let mut patterns = seeded_patterns(5, n_patterns, pattern_seed);
+        if compacted {
+            patterns = compact_reverse(&c, &collapsed.representatives, &patterns);
+        }
+        let dict = if threaded {
+            FaultDictionary::build_threaded(&c, &universe, &patterns, 3)
+        } else {
+            FaultDictionary::build_serial(&c, &universe, &patterns)
+        };
+
+        let rep = collapsed.representatives[(pick as usize) % collapsed.representatives.len()];
+        let fi = universe
+            .iter()
+            .position(|f| *f == rep)
+            .expect("representatives come from the universe");
+        let obs = full_pass_observations(&c, rep, &patterns);
+        let report = dict.diagnose(&obs);
+        let best = report.best().expect("non-empty dictionary");
+        prop_assert!(best.exact, "{} must match exactly", rep.describe(&c));
+        prop_assert_eq!(
+            best.class,
+            dict.class_of()[fi],
+            "true class of {} not ranked first",
+            rep.describe(&c)
+        );
+        // An exact match is unique: every other candidate is strictly
+        // farther.
+        for cand in &report.candidates[1..] {
+            prop_assert!(cand.distance > 0);
         }
     }
 

@@ -35,15 +35,9 @@ use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::simulate_faults;
 use sinw_atpg::tpg::{AtpgConfig, AtpgEngine, AtpgReport};
+use sinw_bench::{env_usize, write_bench_json};
 use sinw_switch::generate::carry_select_adder;
 use std::time::{Duration, Instant};
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn campaign_json(label: &str, report: &AtpgReport, wall: Duration) -> String {
     format!(
@@ -161,8 +155,6 @@ fn bench(c: &mut Criterion) {
     );
     assert!(full.patterns.len() <= full.patterns_before_compaction);
 
-    let json_path =
-        std::env::var("SINW_BENCH_JSON").unwrap_or_else(|_| "BENCH_atpg.json".to_string());
     let json = format!(
         "{{\n  \"bench\": \"atpg_scaling\",\n  \"circuit\": {{\"name\": \"csa{width}\", \
          \"width\": {width}, \"cells\": {}, \"inputs\": {}, \"outputs\": {}}},\n  \
@@ -175,10 +167,7 @@ fn bench(c: &mut Criterion) {
         campaign_json("random_only", &random_only, t_random),
         campaign_json("full", &full, t_full)
     );
-    match std::fs::write(&json_path, &json) {
-        Ok(()) => println!("  campaign trajectory written to {json_path}"),
-        Err(e) => eprintln!("  WARNING: could not write {json_path}: {e}"),
-    }
+    write_bench_json("BENCH_atpg.json", &json);
 
     c.bench_function("atpg/random_only", |b| {
         b.iter(|| {

@@ -32,15 +32,9 @@ use sinw_atpg::faultsim::{
     seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_serial,
     simulate_faults_threaded, FaultSimReport,
 };
+use sinw_bench::{env_usize, write_bench_json};
 use sinw_switch::generate::array_multiplier;
 use std::time::{Duration, Instant};
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 struct EngineRow {
     name: &'static str,
@@ -49,7 +43,6 @@ struct EngineRow {
 
 #[allow(clippy::too_many_arguments)]
 fn write_json(
-    path: &str,
     width: usize,
     cells: usize,
     pis: usize,
@@ -82,10 +75,7 @@ fn write_json(
          \"speedup\": {event_speedup:.3}}}\n}}\n",
         rows.join(",\n")
     );
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("  perf trajectory written to {path}"),
-        Err(e) => eprintln!("  WARNING: could not write {path}: {e}"),
-    }
+    write_bench_json("BENCH_ppsfp.json", &json);
 }
 
 fn bench(c: &mut Criterion) {
@@ -179,10 +169,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    let json_path =
-        std::env::var("SINW_BENCH_JSON").unwrap_or_else(|_| "BENCH_ppsfp.json".to_string());
     write_json(
-        &json_path,
         width,
         circuit.gates().len(),
         circuit.primary_inputs().len(),

@@ -8,9 +8,9 @@
 //! itself lives in [`sinw_core::experiments`] so that tests and benches
 //! report identical numbers.
 //!
-//! The library target exists only so `cargo doc` has a place to hang
-//! this crate-level documentation; the runnable artifacts are the bench
-//! targets:
+//! The library target hosts this crate-level documentation plus the two
+//! knob/artifact helpers shared by the scaling benches ([`env_usize`],
+//! [`write_bench_json`]); the runnable artifacts are the bench targets:
 //!
 //! ```no_run
 //! // What `cargo bench --bench ppsfp_scaling` measures, in miniature:
@@ -25,3 +25,26 @@
 //! let threaded = simulate_faults_threaded(&circuit, &faults, &patterns, false, 0);
 //! assert_eq!(serial, threaded); // identical reports, different wall clock
 //! ```
+
+/// Read a `usize` knob from the environment, falling back to `default`
+/// when the variable is unset or unparsable — the shared convention of
+/// every `SINW_*` bench knob.
+#[must_use]
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Write a machine-readable bench artifact to the `SINW_BENCH_JSON`
+/// override path or `default_path`, logging where it landed (or a
+/// warning on failure) — the shared `BENCH_*.json` convention CI
+/// archives.
+pub fn write_bench_json(default_path: &str, json: &str) {
+    let path = std::env::var("SINW_BENCH_JSON").unwrap_or_else(|_| default_path.to_string());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  machine-readable trajectory written to {path}"),
+        Err(e) => eprintln!("  WARNING: could not write {path}: {e}"),
+    }
+}

@@ -20,6 +20,10 @@
 //!   [`collection::vec`];
 //! * [`test_runner::ProptestConfig`] with
 //!   [`with_cases`](test_runner::ProptestConfig::with_cases);
+//! * the `PROPTEST_CASES` environment variable, read at property run
+//!   time. One deliberate divergence from upstream: here the variable
+//!   **overrides** even an explicit `with_cases(..)` configuration, so a
+//!   CI job can boost (or trim) whole suites without touching code;
 //! * a [`prelude`] re-exporting all of the above.
 
 #![warn(missing_docs)]
@@ -39,6 +43,26 @@ pub mod test_runner {
         /// A configuration running `cases` random cases per property.
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
+        }
+
+        /// Apply the `PROPTEST_CASES` environment override, if set to a
+        /// positive integer. Called by the generated test bodies at run
+        /// time, so the boost applies to already-compiled suites.
+        ///
+        /// Divergence from upstream proptest (where an explicit
+        /// `with_cases` wins over the environment): the override applies
+        /// unconditionally, which is what lets a dedicated CI job crank
+        /// every property suite up without code changes.
+        #[must_use]
+        pub fn resolve_env(mut self) -> Self {
+            if let Some(n) = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|n| *n > 0)
+            {
+                self.cases = n;
+            }
+            self
         }
     }
 
@@ -428,6 +452,7 @@ macro_rules! __proptest_body {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
+            let config = config.resolve_env();
             let mut rng =
                 $crate::test_runner::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
             for case in 0..config.cases {
@@ -495,6 +520,42 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn proptest_cases_env_var_overrides_the_config() {
+        use crate::test_runner::ProptestConfig;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // This test mutates the process environment, which sibling tests
+        // read through `resolve_env` — the window is kept short and the
+        // prior value is restored, so a concurrent reader can at worst
+        // sample a different (still valid) case budget for one run.
+        let prior = std::env::var("PROPTEST_CASES").ok();
+        let set = |v: Option<&str>| match v {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        };
+        set(None);
+        assert_eq!(ProptestConfig::with_cases(24).resolve_env().cases, 24);
+        set(Some("3"));
+        assert_eq!(ProptestConfig::with_cases(24).resolve_env().cases, 3);
+        set(Some("not a number"));
+        assert_eq!(ProptestConfig::with_cases(24).resolve_env().cases, 24);
+        set(Some("0"));
+        assert_eq!(ProptestConfig::with_cases(24).resolve_env().cases, 24);
+        // And through the macro: the generated body re-reads the
+        // environment at run time.
+        set(Some("3"));
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(50))]
+            fn counted(_x in 0u8..4) {
+                RUNS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        counted();
+        set(prior.as_deref());
+        assert_eq!(RUNS.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -233,6 +233,14 @@ impl Experiments {
         atpg_campaign(self.fast)
     }
 
+    /// Fault dictionary + diagnosis over the benchmark suite (signature
+    /// capture on the campaign's compacted pattern sets). Delegates to
+    /// [`diagnosis`] with this context's fidelity.
+    #[must_use]
+    pub fn diagnosis(&self) -> DiagnosisResult {
+        diagnosis(self.fast)
+    }
+
     // ------------------------------------------------------------------
     // Table I — process steps and defect census
     // ------------------------------------------------------------------
@@ -987,6 +995,187 @@ pub fn atpg_campaign(fast: bool) -> AtpgCampaignResult {
         })
         .collect();
     AtpgCampaignResult { rows }
+}
+
+// ----------------------------------------------------------------------
+// Fault dictionary + diagnosis (test-response lookup over the suite)
+// ----------------------------------------------------------------------
+
+/// One benchmark's trip through dictionary construction and a sampled
+/// injected-fault diagnosis walk.
+#[derive(Debug, Clone)]
+pub struct DiagnosisRow {
+    /// Benchmark name (`c17`, `csa16`, `mul8`, …).
+    pub name: String,
+    /// `"bench"` for parsed `.bench` fixtures, `"gen"` for generators.
+    pub source: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Cell instances after mapping onto the CP library.
+    pub cells: usize,
+    /// Patterns in the campaign's compacted test set (the dictionary key
+    /// space).
+    pub patterns: usize,
+    /// Dictionary size / resolution statistics over the **full** stuck-at
+    /// universe (stems + branches — diagnosis wants physical sites, so
+    /// the universe is *not* pre-collapsed; structurally equivalent
+    /// faults land in one class by construction).
+    pub stats: sinw_atpg::diagnose::DictionaryStats,
+    /// Wall time of the one-pattern-at-a-time dictionary build, ms.
+    pub build_serial_ms: f64,
+    /// Wall time of the thread-parallel (64-way blocks × auto workers)
+    /// build, ms.
+    pub build_threaded_ms: f64,
+    /// Sampled diagnosis probes: faults injected, observed with the
+    /// full-pass oracle, and looked up in the dictionary.
+    pub probes: usize,
+    /// Probes whose true indistinguishability class ranked first
+    /// (must equal `probes` — asserted by the test suite).
+    pub probes_ranked_first: usize,
+}
+
+/// Result of [`diagnosis`]: one row per benchmark.
+#[derive(Debug, Clone)]
+pub struct DiagnosisResult {
+    /// Per-benchmark rows.
+    pub rows: Vec<DiagnosisRow>,
+}
+
+impl DiagnosisResult {
+    /// Row lookup by benchmark name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&DiagnosisRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for DiagnosisResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fault dictionary + diagnosis (signature capture over the campaign's compacted test sets)"
+        )?;
+        writeln!(
+            f,
+            "  circuit  src    PI   PO  cells  pats  faults  classes  empty  single  max   avg  dict(B)  raw(B)  serial(ms)  thr(ms)  ranked-1st"
+        )?;
+        for r in &self.rows {
+            let s = &r.stats;
+            writeln!(
+                f,
+                "  {:7}  {:5} {:>3}  {:>3}  {:>5}  {:>4}  {:>6}  {:>7}  {:>5}  {:>6}  {:>3}  {:>4.1}  {:>7}  {:>6}  {:>10.1}  {:>7.1}  {:>6}/{}",
+                r.name,
+                r.source,
+                r.inputs,
+                r.outputs,
+                r.cells,
+                r.patterns,
+                s.faults,
+                s.classes,
+                s.empty_classes,
+                s.singleton_classes,
+                s.max_class_size,
+                s.avg_class_size,
+                s.compressed_bytes,
+                s.uncompressed_bytes,
+                r.build_serial_ms,
+                r.build_threaded_ms,
+                r.probes_ranked_first,
+                r.probes
+            )?;
+        }
+        writeln!(
+            f,
+            "  pats = campaign compacted test set; classes = indistinguishability classes;"
+        )?;
+        writeln!(
+            f,
+            "  empty = all-pass classes (undetected/redundant faults); ranked-1st = injected-fault"
+        )?;
+        writeln!(
+            f,
+            "  probes whose true class the diagnosis engine ranked first; dict/raw = class-merged vs per-fault bytes"
+        )?;
+        Ok(())
+    }
+}
+
+/// Fault-dictionary + diagnosis run over [`benchmark_suite`]: per
+/// benchmark, produce a compacted test set with the ATPG campaign
+/// (deterministic per-name seed, same scheme as [`atpg_campaign`]), build
+/// the compressed circuit-level dictionary over the **full** stuck-at
+/// universe with the signature-capture engines (timing the
+/// one-pattern-at-a-time baseline against the thread-parallel build),
+/// and close the loop with sampled injected-fault diagnoses: each probe
+/// simulates a fault's observable response with the independent full-pass
+/// oracle and checks that [`sinw_atpg::diagnose::FaultDictionary`] ranks
+/// the true indistinguishability class first.
+///
+/// `fast` shrinks the generated circuits and the campaign's random phase
+/// for test runs.
+#[must_use]
+pub fn diagnosis(fast: bool) -> DiagnosisResult {
+    use sinw_atpg::diagnose::{full_pass_observations, FaultDictionary};
+    use sinw_atpg::fault_list::enumerate_stuck_at;
+    use sinw_atpg::tpg::{AtpgConfig, AtpgEngine};
+
+    let rows = benchmark_suite(fast)
+        .into_iter()
+        .map(|(name, source, circuit)| {
+            let faults = enumerate_stuck_at(&circuit);
+            let collapsed = sinw_atpg::collapse::collapse(&circuit, &faults);
+            let seed = 0xD1A6_05E5_u64
+                ^ name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+                });
+            let config = AtpgConfig {
+                seed,
+                max_random_blocks: if fast { 16 } else { 64 },
+                ..AtpgConfig::default()
+            };
+            let engine = AtpgEngine::new(&circuit, config);
+            let patterns = engine.run(&collapsed.representatives).patterns;
+
+            let t0 = std::time::Instant::now();
+            let serial = FaultDictionary::build_serial(&circuit, &faults, &patterns);
+            let build_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = std::time::Instant::now();
+            let dict = FaultDictionary::build_threaded(&circuit, &faults, &patterns, 0);
+            let build_threaded_ms = t1.elapsed().as_secs_f64() * 1e3;
+            debug_assert_eq!(serial.class_of(), dict.class_of());
+
+            // Sampled round trip: inject → observe (full-pass oracle) →
+            // diagnose → the true class must rank first.
+            let stride = (faults.len() / 16).max(1);
+            let mut probes = 0usize;
+            let mut probes_ranked_first = 0usize;
+            for fi in (0..faults.len()).step_by(stride) {
+                let obs = full_pass_observations(&circuit, faults[fi], &patterns);
+                let report = dict.diagnose(&obs);
+                probes += 1;
+                if report.best().map(|c| c.class) == Some(dict.class_of()[fi]) {
+                    probes_ranked_first += 1;
+                }
+            }
+
+            DiagnosisRow {
+                name,
+                source,
+                inputs: circuit.primary_inputs().len(),
+                outputs: circuit.primary_outputs().len(),
+                cells: circuit.gates().len(),
+                patterns: patterns.len(),
+                stats: dict.stats(),
+                build_serial_ms,
+                build_threaded_ms,
+                probes,
+                probes_ranked_first,
+            }
+        })
+        .collect();
+    DiagnosisResult { rows }
 }
 
 /// Render the XOR2 dictionary in the paper's Table III layout.

@@ -1,0 +1,185 @@
+//! `.bench` frontend hardening: `parse → to_bench → parse` is an
+//! isomorphism on generated circuits, and malformed input keeps its
+//! line-numbered error contract.
+//!
+//! Two strengths of "isomorphism" apply:
+//!
+//! * cells with a 1:1 `.bench` counterpart (INV, NAND2, NOR2, XOR2,
+//!   XOR3) round-trip **structurally** — same gate count, same PI/PO
+//!   counts, same function;
+//! * MAJ3 has no `.bench` counterpart and is decomposed on export, so
+//!   its round trip is **functional** — and one trip reaches the fixed
+//!   point: exporting the re-parsed circuit reproduces the text
+//!   verbatim.
+
+use proptest::prelude::*;
+use sinw_switch::cells::CellKind;
+use sinw_switch::gate::{Circuit, SignalId};
+use sinw_switch::iscas::{parse_bench, to_bench, BenchErrorKind};
+
+/// A random DAG of library cells with `.bench`-clean names.
+fn random_circuit(n_pi: usize, n_gates: usize, seed: &[u8], with_maj: bool) -> Circuit {
+    let mut c = Circuit::new();
+    let mut signals: Vec<SignalId> = (0..n_pi).map(|i| c.add_input(format!("i{i}"))).collect();
+    let mut kinds = vec![
+        CellKind::Inv,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xor3,
+    ];
+    if with_maj {
+        kinds.push(CellKind::Maj3);
+    }
+    let byte = |i: usize| -> usize { seed[i % seed.len()] as usize };
+    for g in 0..n_gates {
+        let kind = kinds[byte(3 * g) % kinds.len()];
+        let mut inputs = Vec::new();
+        for pin in 0..kind.input_count() {
+            inputs.push(signals[byte(3 * g + pin + 1) % signals.len()]);
+        }
+        let out = c.add_gate(kind, format!("g{g}"), &inputs);
+        signals.push(out);
+    }
+    let n = signals.len();
+    for s in signals.iter().skip(n.saturating_sub(3)) {
+        c.mark_output(*s);
+    }
+    c
+}
+
+fn eval_all(c: &Circuit, n_pi: usize) -> Vec<Vec<sinw_switch::value::Logic>> {
+    (0..(1u32 << n_pi))
+        .map(|bits| {
+            let v: Vec<bool> = (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect();
+            c.eval_outputs(&v)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Without MAJ3 every cell maps 1:1, so the round trip preserves the
+    /// structure exactly — and the exported text is already the fixed
+    /// point of the trip.
+    #[test]
+    fn round_trip_is_a_structural_isomorphism_without_maj(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 1usize..16,
+    ) {
+        let n_pi = 4usize;
+        let c = random_circuit(n_pi, n_gates, &seed, false);
+        let text = to_bench(&c, "roundtrip");
+        let reparsed = parse_bench(&text).expect("exported text parses");
+        prop_assert_eq!(reparsed.primary_inputs().len(), c.primary_inputs().len());
+        prop_assert_eq!(reparsed.primary_outputs().len(), c.primary_outputs().len());
+        prop_assert_eq!(reparsed.gates().len(), c.gates().len(), "1:1 cells");
+        prop_assert_eq!(eval_all(&reparsed, n_pi), eval_all(&c, n_pi));
+        // Exporting the re-parse reproduces the text verbatim.
+        prop_assert_eq!(to_bench(&reparsed, "roundtrip"), text);
+    }
+
+    /// With MAJ3 in play the export decomposes, so the round trip is
+    /// functional — and exactly one trip reaches the textual fixed point
+    /// (the decomposed form re-exports to itself).
+    #[test]
+    fn round_trip_preserves_function_and_reaches_a_fixed_point(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 1usize..16,
+    ) {
+        let n_pi = 4usize;
+        let c = random_circuit(n_pi, n_gates, &seed, true);
+        let text1 = to_bench(&c, "roundtrip");
+        let c1 = parse_bench(&text1).expect("exported text parses");
+        prop_assert_eq!(c1.primary_inputs().len(), c.primary_inputs().len());
+        prop_assert_eq!(c1.primary_outputs().len(), c.primary_outputs().len());
+        prop_assert_eq!(eval_all(&c1, n_pi), eval_all(&c, n_pi));
+        let text2 = to_bench(&c1, "roundtrip");
+        let c2 = parse_bench(&text2).expect("fixed-point text parses");
+        prop_assert_eq!(eval_all(&c2, n_pi), eval_all(&c, n_pi));
+        prop_assert_eq!(to_bench(&c2, "roundtrip"), text2, "one trip reaches the fixed point");
+    }
+
+    /// Inserting a garbage line anywhere into valid `.bench` text fails
+    /// the parse with a `Syntax` error carrying exactly that 1-based
+    /// line number.
+    #[test]
+    fn corrupted_lines_report_their_exact_line_number(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 1usize..12,
+        at in any::<u64>(),
+    ) {
+        let c = random_circuit(4, n_gates, &seed, true);
+        let text = to_bench(&c, "roundtrip");
+        let mut lines: Vec<&str> = text.lines().collect();
+        let pos = (at as usize) % (lines.len() + 1);
+        lines.insert(pos, "!! not bench syntax !!");
+        let corrupted = lines.join("\n");
+        let e = parse_bench(&corrupted).expect_err("garbage must not parse");
+        prop_assert_eq!(e.line, pos + 1, "error pinned to the inserted line");
+        prop_assert!(
+            matches!(e.kind, BenchErrorKind::Syntax(_)),
+            "got {:?}",
+            e.kind
+        );
+    }
+}
+
+/// Explicit malformed inputs with their pinned line numbers — the error
+/// contract the property above samples, spelled out case by case.
+#[test]
+fn malformed_inputs_pin_kind_and_line() {
+    let cases: [(&str, usize, BenchErrorKind); 7] = [
+        (
+            // An OUTPUT naming a net nothing drives: the OUTPUT's line.
+            "INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n",
+            2,
+            BenchErrorKind::UndrivenNet("ghost".into()),
+        ),
+        (
+            // A duplicated INPUT: the second declaration's line.
+            "INPUT(a)\nINPUT(a)\nOUTPUT(o)\no = NOT(a)\n",
+            2,
+            BenchErrorKind::DuplicateDriver("a".into()),
+        ),
+        (
+            // A gate redefining an INPUT net.
+            "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n",
+            3,
+            BenchErrorKind::DuplicateDriver("a".into()),
+        ),
+        (
+            // An empty call body.
+            "INPUT(a)\nOUTPUT(o)\no = XOR()\n",
+            3,
+            BenchErrorKind::BadArity {
+                net: "o".into(),
+                got: 0,
+            },
+        ),
+        (
+            // An empty left-hand side.
+            "INPUT(a)\nOUTPUT(o)\n = NOT(a)\n",
+            3,
+            BenchErrorKind::Syntax("= NOT(a)".into()),
+        ),
+        (
+            // INPUT with the wrong arity is a syntax error, not an input.
+            "INPUT(a, b)\nOUTPUT(o)\no = NOT(a)\n",
+            1,
+            BenchErrorKind::Syntax("INPUT(a, b)".into()),
+        ),
+        (
+            // Trailing junk after the call.
+            "INPUT(a)\nOUTPUT(o)\no = NOT(a) junk\n",
+            3,
+            BenchErrorKind::Syntax("o = NOT(a) junk".into()),
+        ),
+    ];
+    for (text, line, kind) in cases {
+        let e = parse_bench(text).expect_err("malformed input must fail");
+        assert_eq!(e.kind, kind, "for {text:?}");
+        assert_eq!(e.line, line, "line number for {text:?}");
+    }
+}
