@@ -161,7 +161,7 @@ mod tests {
         let patterns: Vec<Vec<bool>> = (0..32u32)
             .map(|bits| (0..5).map(|k| (bits >> k) & 1 == 1).collect())
             .collect();
-        let block = PatternBlock::pack(&c, &patterns);
+        let block: PatternBlock = PatternBlock::pack(&c, &patterns);
         for (fi, fault) in faults.iter().enumerate() {
             let rep = collapsed.representatives[collapsed.class_of[fi]];
             assert_eq!(

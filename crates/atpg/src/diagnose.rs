@@ -355,15 +355,13 @@ pub fn full_pass_observations(
 ) -> Vec<(usize, usize)> {
     let mut failures = Vec::new();
     for (bi, chunk) in patterns.chunks(64).enumerate() {
-        let block = PatternBlock::pack(circuit, chunk);
+        let block: PatternBlock = PatternBlock::pack(circuit, chunk);
         let good = good_sim(circuit, &block);
         let faulty = faulty_sim(circuit, fault, &block);
         for (o, po) in circuit.primary_outputs().iter().enumerate() {
-            let mut diff = (good[po.0] ^ faulty[po.0]) & block.mask();
-            while diff != 0 {
-                let k = diff.trailing_zeros() as usize;
+            let diff = (good[po.0] ^ faulty[po.0]) & block.mask();
+            for k in diff.set_bits() {
                 failures.push((bi * 64 + k, o));
-                diff &= diff - 1;
             }
         }
     }

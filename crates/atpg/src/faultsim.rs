@@ -9,10 +9,24 @@
 //! * [`simulate_faults`] — packs 64 fully-specified patterns into one
 //!   machine word per signal and evaluates a whole block per fault
 //!   (parallel-pattern single-fault propagation, PPSFP);
-//! * [`simulate_faults_threaded`] — partitions the fault list across
-//!   `std::thread::scope` workers *on top of* the 64-way blocks; the
-//!   good-machine values of every block are computed once and shared
-//!   read-only by all workers.
+//! * [`simulate_faults_threaded`] — distributes fault chunks across
+//!   `std::thread::scope` workers through a work-stealing queue
+//!   (`crate::steal`, crate-internal) *on top of* the wide blocks; the good-machine
+//!   values of every block are computed once and shared read-only by all
+//!   workers. The old static one-chunk-per-worker split is retained as
+//!   [`simulate_faults_threaded_static`] for the scaling ablation.
+//!
+//! # Lane widening
+//!
+//! Every engine is generic over a lane count `L`: a block packs
+//! `64 * L` patterns into [`PatternWords<L>`] words (`[u64; L]` with
+//! loop-based bitwise ops that autovectorise to 256/512-bit SIMD). The
+//! public entry points run at [`configured_lanes`] (the `SINW_LANES`
+//! environment variable, default 1); the `*_lanes` variants take the
+//! width explicitly. Detection reports and signature matrices are
+//! bit-identical at every supported width — the lane-differential
+//! property suite pins L ∈ {2, 4, 8} against the L = 1 kernel and the
+//! full-pass oracle.
 //!
 //! # The event-driven kernel
 //!
@@ -49,35 +63,47 @@
 
 use crate::fault_list::{FaultSite, StuckAtFault};
 use crate::graph::SimGraph;
+pub use crate::lanes::PatternWords;
+use crate::steal::WorkQueue;
 use sinw_switch::cells::CellKind;
 use sinw_switch::gate::{Circuit, GateId, SignalId};
+use std::sync::Mutex;
 
-/// A block of up to 64 fully-specified input patterns.
+/// A block of up to `64 * L` fully-specified input patterns.
 ///
 /// Invariants (upheld by [`PatternBlock::try_pack`], assumed by every
 /// engine):
 ///
-/// * `1 <= count <= 64`;
+/// * `1 <= count <= 64 * L` ([`PatternBlock::CAPACITY`]);
 /// * `words.len()` equals the circuit's primary-input count; bit `k` of
-///   `words[i]` is pattern `k`'s value for PI `i`;
+///   `words[i]` is pattern `k`'s value for PI `i` (lane-major, see
+///   [`PatternWords`]);
 /// * bits at positions `>= count` are zero (padding patterns are all-0 and
 ///   masked out of detection results by [`PatternBlock::mask`]).
+///
+/// The default `L = 1` is the historical 64-wide block.
 #[derive(Debug, Clone)]
-pub struct PatternBlock {
-    /// One word per primary input; bit `k` is the value in pattern `k`.
-    pub words: Vec<u64>,
-    /// Number of valid patterns (1..=64).
+pub struct PatternBlock<const L: usize = 1> {
+    /// One wide word per primary input; bit `k` is the value in pattern
+    /// `k`.
+    pub words: Vec<PatternWords<L>>,
+    /// Number of valid patterns (`1..=64 * L`).
     pub count: usize,
 }
 
 /// Why a slice of patterns cannot be packed into a [`PatternBlock`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PackError {
-    /// No patterns were supplied (a block holds 1..=64).
+    /// No patterns were supplied (a block holds at least one).
     Empty,
-    /// More than 64 patterns were supplied; chunk them into blocks first
-    /// (the `simulate_faults*` drivers do this internally).
-    TooManyPatterns(usize),
+    /// More than `64 * L` patterns were supplied; chunk them into blocks
+    /// first (the `simulate_faults*` drivers do this internally).
+    TooManyPatterns {
+        /// How many patterns were supplied.
+        got: usize,
+        /// The block's capacity (`64 * L`).
+        capacity: usize,
+    },
     /// A pattern's length does not match the circuit's primary-input count.
     ArityMismatch {
         /// Index of the offending pattern.
@@ -93,8 +119,11 @@ impl std::fmt::Display for PackError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PackError::Empty => write!(f, "cannot pack an empty pattern block"),
-            PackError::TooManyPatterns(n) => {
-                write!(f, "a pattern block holds at most 64 patterns, got {n}")
+            PackError::TooManyPatterns { got, capacity } => {
+                write!(
+                    f,
+                    "a pattern block holds at most {capacity} patterns, got {got}"
+                )
             }
             PackError::ArityMismatch {
                 pattern,
@@ -110,22 +139,29 @@ impl std::fmt::Display for PackError {
 
 impl std::error::Error for PackError {}
 
-impl PatternBlock {
+impl<const L: usize> PatternBlock<L> {
+    /// Pattern capacity of one block: `64 * L`.
+    pub const CAPACITY: usize = 64 * L;
+
     /// Pack a slice of patterns (each a bool per PI) into a block.
     ///
     /// # Errors
     ///
-    /// Returns a [`PackError`] if the slice is empty, holds more than 64
-    /// patterns, or any pattern's arity does not match the circuit.
+    /// Returns a [`PackError`] if the slice is empty, holds more than
+    /// `64 * L` patterns, or any pattern's arity does not match the
+    /// circuit.
     pub fn try_pack(circuit: &Circuit, patterns: &[Vec<bool>]) -> Result<Self, PackError> {
         if patterns.is_empty() {
             return Err(PackError::Empty);
         }
-        if patterns.len() > 64 {
-            return Err(PackError::TooManyPatterns(patterns.len()));
+        if patterns.len() > Self::CAPACITY {
+            return Err(PackError::TooManyPatterns {
+                got: patterns.len(),
+                capacity: Self::CAPACITY,
+            });
         }
         let n_pi = circuit.primary_inputs().len();
-        let mut words = vec![0u64; n_pi];
+        let mut words = vec![PatternWords::<L>::ZERO; n_pi];
         for (k, p) in patterns.iter().enumerate() {
             if p.len() != n_pi {
                 return Err(PackError::ArityMismatch {
@@ -136,7 +172,7 @@ impl PatternBlock {
             }
             for (i, b) in p.iter().enumerate() {
                 if *b {
-                    words[i] |= 1 << k;
+                    words[i].set_bit(k);
                 }
             }
         }
@@ -153,8 +189,8 @@ impl PatternBlock {
     ///
     /// # Panics
     ///
-    /// Panics if more than 64 patterns are supplied, none are, or arities
-    /// mismatch.
+    /// Panics if more than `64 * L` patterns are supplied, none are, or
+    /// arities mismatch.
     #[must_use]
     pub fn pack(circuit: &Circuit, patterns: &[Vec<bool>]) -> Self {
         match Self::try_pack(circuit, patterns) {
@@ -165,16 +201,12 @@ impl PatternBlock {
 
     /// Mask with the valid-pattern bits set.
     #[must_use]
-    pub fn mask(&self) -> u64 {
-        if self.count == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.count) - 1
-        }
+    pub fn mask(&self) -> PatternWords<L> {
+        PatternWords::valid_mask(self.count)
     }
 }
 
-fn eval_word(kind: CellKind, ins: &[u64]) -> u64 {
+fn eval_word<const L: usize>(kind: CellKind, ins: &[PatternWords<L>]) -> PatternWords<L> {
     match kind {
         CellKind::Inv => !ins[0],
         CellKind::Nand2 => !(ins[0] & ins[1]),
@@ -185,19 +217,26 @@ fn eval_word(kind: CellKind, ins: &[u64]) -> u64 {
     }
 }
 
-/// Bit-parallel good-machine simulation: one word per signal.
+/// Bit-parallel good-machine simulation: one wide word per signal.
 #[must_use]
-pub fn good_sim(circuit: &Circuit, block: &PatternBlock) -> Vec<u64> {
-    let mut values = vec![0u64; circuit.signal_count()];
+pub fn good_sim<const L: usize>(
+    circuit: &Circuit,
+    block: &PatternBlock<L>,
+) -> Vec<PatternWords<L>> {
+    let mut values = vec![PatternWords::<L>::ZERO; circuit.signal_count()];
     good_sim_into(circuit, block, &mut values);
     values
 }
 
-pub(crate) fn good_sim_into(circuit: &Circuit, block: &PatternBlock, values: &mut [u64]) {
+pub(crate) fn good_sim_into<const L: usize>(
+    circuit: &Circuit,
+    block: &PatternBlock<L>,
+    values: &mut [PatternWords<L>],
+) {
     for (k, pi) in circuit.primary_inputs().iter().enumerate() {
         values[pi.0] = block.words[k];
     }
-    let mut ins = [0u64; 3];
+    let mut ins = [PatternWords::<L>::ZERO; 3];
     for gate in circuit.gates() {
         for (k, s) in gate.inputs.iter().enumerate() {
             ins[k] = values[s.0];
@@ -210,26 +249,30 @@ pub(crate) fn good_sim_into(circuit: &Circuit, block: &PatternBlock, values: &mu
 /// (whole-circuit pass; the event-driven kernel inside the engines only
 /// materialises the disturbed region).
 #[must_use]
-pub fn faulty_sim(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> Vec<u64> {
-    let mut values = vec![0u64; circuit.signal_count()];
+pub fn faulty_sim<const L: usize>(
+    circuit: &Circuit,
+    fault: StuckAtFault,
+    block: &PatternBlock<L>,
+) -> Vec<PatternWords<L>> {
+    let mut values = vec![PatternWords::<L>::ZERO; circuit.signal_count()];
     faulty_sim_into(circuit, fault, block, &mut values);
     values
 }
 
-fn faulty_sim_into(
+fn faulty_sim_into<const L: usize>(
     circuit: &Circuit,
     fault: StuckAtFault,
-    block: &PatternBlock,
-    values: &mut [u64],
+    block: &PatternBlock<L>,
+    values: &mut [PatternWords<L>],
 ) {
-    let stuck = if fault.value { u64::MAX } else { 0 };
+    let stuck = PatternWords::<L>::stuck(fault.value);
     for (k, pi) in circuit.primary_inputs().iter().enumerate() {
         values[pi.0] = block.words[k];
         if fault.site == FaultSite::Signal(*pi) {
             values[pi.0] = stuck;
         }
     }
-    let mut ins = [0u64; 3];
+    let mut ins = [PatternWords::<L>::ZERO; 3];
     for (gi, gate) in circuit.gates().iter().enumerate() {
         for (pin, s) in gate.inputs.iter().enumerate() {
             ins[pin] = if fault.site == FaultSite::GatePin(GateId(gi), pin) {
@@ -260,12 +303,13 @@ fn faulty_sim_into(
 /// allocation-free.
 ///
 /// One scratch serves one thread; every engine creates one per worker.
+/// The lane count `L` must match the blocks it is used with (default 1).
 #[derive(Debug, Default)]
-pub struct FaultSimScratch {
+pub struct FaultSimScratch<const L: usize = 1> {
     /// Good-machine words for [`detect_mask_in`].
-    good: Vec<u64>,
+    good: Vec<PatternWords<L>>,
     /// Faulty words, valid only where `stamp[sig] == epoch`.
-    faulty: Vec<u64>,
+    faulty: Vec<PatternWords<L>>,
     /// Per-signal dirty mark (epoch at which `faulty` was written).
     stamp: Vec<u32>,
     /// Per-gate enqueued mark for the current pass.
@@ -276,7 +320,7 @@ pub struct FaultSimScratch {
     epoch: u32,
 }
 
-impl FaultSimScratch {
+impl<const L: usize> FaultSimScratch<L> {
     /// An empty scratch; buffers are sized on first use.
     #[must_use]
     pub fn new() -> Self {
@@ -286,8 +330,8 @@ impl FaultSimScratch {
     /// Grow the per-signal buffers to cover `n` signals.
     fn ensure_signals(&mut self, n: usize) {
         if self.faulty.len() < n {
-            self.good.resize(n, 0);
-            self.faulty.resize(n, 0);
+            self.good.resize(n, PatternWords::ZERO);
+            self.faulty.resize(n, PatternWords::ZERO);
             self.stamp.resize(n, 0);
         }
     }
@@ -343,16 +387,16 @@ impl FaultSimScratch {
 /// seeding, drain and write-back logic must stay in lockstep (the
 /// `signature_capture_agrees_with_the_detect_engines` property pins the
 /// agreement; apply kernel changes to both).
-pub(crate) fn event_detect_mask(
+pub(crate) fn event_detect_mask<const L: usize>(
     graph: &SimGraph,
     fault: StuckAtFault,
-    block_mask: u64,
-    good: &[u64],
-    scratch: &mut FaultSimScratch,
-) -> u64 {
-    let stuck = if fault.value { u64::MAX } else { 0 };
+    block_mask: PatternWords<L>,
+    good: &[PatternWords<L>],
+    scratch: &mut FaultSimScratch<L>,
+) -> PatternWords<L> {
+    let stuck = PatternWords::<L>::stuck(fault.value);
     let epoch = scratch.begin_pass();
-    let mut detect = 0u64;
+    let mut detect = PatternWords::<L>::ZERO;
     let (mut lo, mut hi) = (usize::MAX, 0usize);
 
     // Seed the worklist at the fault site. Two cheap proofs of
@@ -362,7 +406,7 @@ pub(crate) fn event_detect_mask(
     match fault.site {
         FaultSite::Signal(s) => {
             if graph.po_reach(s) == 0 || good[s.0] == stuck {
-                return 0;
+                return PatternWords::ZERO;
             }
             scratch.faulty[s.0] = stuck;
             scratch.stamp[s.0] = epoch;
@@ -380,7 +424,7 @@ pub(crate) fn event_detect_mask(
             let out = graph.gate_output(g);
             let in_sig = graph.gate_inputs(g)[pin] as usize;
             if graph.po_reach(out) == 0 || good[in_sig] == stuck {
-                return 0;
+                return PatternWords::ZERO;
             }
             scratch.enqueue(graph, g.0 as u32, epoch, &mut lo, &mut hi);
         }
@@ -399,7 +443,7 @@ pub(crate) fn event_detect_mask(
         for &gi in &bucket {
             let gate = GateId(gi as usize);
             let gate_ins = graph.gate_inputs(gate);
-            let mut ins = [0u64; 3];
+            let mut ins = [PatternWords::<L>::ZERO; 3];
             for (pin, &s) in gate_ins.iter().enumerate() {
                 let s = s as usize;
                 ins[pin] = if scratch.stamp[s] == epoch {
@@ -467,18 +511,18 @@ pub(crate) fn event_detect_mask(
 /// does not mean every *output* difference has been seen).
 ///
 /// `scratch` must have been sized by `ensure_graph` for `graph`.
-pub(crate) fn event_po_diffs(
+pub(crate) fn event_po_diffs<const L: usize>(
     graph: &SimGraph,
     fault: StuckAtFault,
-    block_mask: u64,
-    good: &[u64],
-    scratch: &mut FaultSimScratch,
+    block_mask: PatternWords<L>,
+    good: &[PatternWords<L>],
+    scratch: &mut FaultSimScratch<L>,
     po_signals: &[SignalId],
-    po_diff: &mut [u64],
+    po_diff: &mut [PatternWords<L>],
 ) {
     debug_assert_eq!(po_signals.len(), po_diff.len());
-    po_diff.fill(0);
-    let stuck = if fault.value { u64::MAX } else { 0 };
+    po_diff.fill(PatternWords::ZERO);
+    let stuck = PatternWords::<L>::stuck(fault.value);
     let epoch = scratch.begin_pass();
     let (mut lo, mut hi) = (usize::MAX, 0usize);
 
@@ -516,7 +560,7 @@ pub(crate) fn event_po_diffs(
             for &gi in &bucket {
                 let gate = GateId(gi as usize);
                 let gate_ins = graph.gate_inputs(gate);
-                let mut ins = [0u64; 3];
+                let mut ins = [PatternWords::<L>::ZERO; 3];
                 for (pin, &s) in gate_ins.iter().enumerate() {
                     let s = s as usize;
                     ins[pin] = if scratch.stamp[s] == epoch {
@@ -578,7 +622,11 @@ pub(crate) fn event_po_diffs(
 /// and call [`detect_mask_in`] directly (or use a `simulate_faults*`
 /// engine, which amortises the graph precompute too).
 #[must_use]
-pub fn detect_mask(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock) -> u64 {
+pub fn detect_mask<const L: usize>(
+    circuit: &Circuit,
+    fault: StuckAtFault,
+    block: &PatternBlock<L>,
+) -> PatternWords<L> {
     let mut scratch = FaultSimScratch::new();
     detect_mask_in(circuit, fault, block, &mut scratch)
 }
@@ -590,12 +638,12 @@ pub fn detect_mask(circuit: &Circuit, fault: StuckAtFault, block: &PatternBlock)
 /// nothing to amortise a [`SimGraph`] over); the
 /// engines use the event-driven kernel.
 #[must_use]
-pub fn detect_mask_in(
+pub fn detect_mask_in<const L: usize>(
     circuit: &Circuit,
     fault: StuckAtFault,
-    block: &PatternBlock,
-    scratch: &mut FaultSimScratch,
-) -> u64 {
+    block: &PatternBlock<L>,
+    scratch: &mut FaultSimScratch<L>,
+) -> PatternWords<L> {
     scratch.ensure_signals(circuit.signal_count());
     good_sim_into(circuit, block, &mut scratch.good);
     let FaultSimScratch { good, faulty, .. } = scratch;
@@ -608,15 +656,15 @@ pub fn detect_mask_in(
 /// Kept as the oracle the event-driven kernel is property-tested against,
 /// and as the baseline of the `ppsfp_scaling` ablation (via
 /// [`simulate_faults_full_pass`]).
-fn full_pass_detect_mask(
+fn full_pass_detect_mask<const L: usize>(
     circuit: &Circuit,
     fault: StuckAtFault,
-    block: &PatternBlock,
-    good: &[u64],
-    scratch: &mut [u64],
-) -> u64 {
+    block: &PatternBlock<L>,
+    good: &[PatternWords<L>],
+    scratch: &mut [PatternWords<L>],
+) -> PatternWords<L> {
     faulty_sim_into(circuit, fault, block, scratch);
-    let mut mask = 0u64;
+    let mut mask = PatternWords::<L>::ZERO;
     for o in circuit.primary_outputs() {
         mask |= good[o.0] ^ scratch[o.0];
     }
@@ -649,11 +697,16 @@ impl FaultSimReport {
 
 /// Pattern blocks plus their shared good-machine values, computed once per
 /// simulation run and shared read-only across threads.
-struct PreparedPatterns {
-    blocks: Vec<(PatternBlock, Vec<u64>)>,
+struct PreparedPatterns<const L: usize> {
+    blocks: Vec<(PatternBlock<L>, Vec<PatternWords<L>>)>,
 }
 
-fn prepare(circuit: &Circuit, patterns: &[Vec<bool>], block_size: usize) -> PreparedPatterns {
+fn prepare<const L: usize>(
+    circuit: &Circuit,
+    patterns: &[Vec<bool>],
+    block_size: usize,
+) -> PreparedPatterns<L> {
+    debug_assert!(block_size >= 1 && block_size <= PatternBlock::<L>::CAPACITY);
     let blocks = patterns
         .chunks(block_size)
         .map(|chunk| {
@@ -675,12 +728,12 @@ fn prepare(circuit: &Circuit, patterns: &[Vec<bool>], block_size: usize) -> Prep
 /// `mask_of` computes the per-(fault, block) detection mask — the only
 /// thing the engine variants differ in, so dropping and first-index
 /// semantics cannot silently diverge between the oracle and the kernel.
-fn first_detections_with(
+fn first_detections_with<const L: usize>(
     faults: &[StuckAtFault],
-    prepared: &PreparedPatterns,
+    prepared: &PreparedPatterns<L>,
     block_size: usize,
     drop_detected: bool,
-    mut mask_of: impl FnMut(StuckAtFault, &PatternBlock, &[u64]) -> u64,
+    mut mask_of: impl FnMut(StuckAtFault, &PatternBlock<L>, &[PatternWords<L>]) -> PatternWords<L>,
 ) -> Vec<Option<usize>> {
     faults
         .iter()
@@ -691,8 +744,8 @@ fn first_detections_with(
                     break;
                 }
                 let mask = mask_of(fault, block, good);
-                if mask != 0 && first.is_none() {
-                    first = Some(bi * block_size + mask.trailing_zeros() as usize);
+                if mask.any() && first.is_none() {
+                    first = Some(bi * block_size + mask.trailing_zeros());
                 }
             }
             first
@@ -702,10 +755,10 @@ fn first_detections_with(
 
 /// [`first_detections_with`] on the event-driven kernel, with a fresh
 /// per-worker scratch.
-fn first_detections_for(
+fn first_detections_for<const L: usize>(
     graph: &SimGraph,
     faults: &[StuckAtFault],
-    prepared: &PreparedPatterns,
+    prepared: &PreparedPatterns<L>,
     block_size: usize,
     drop_detected: bool,
 ) -> Vec<Option<usize>> {
@@ -736,10 +789,77 @@ fn report_from(firsts: Vec<Option<usize>>, n_patterns: usize) -> FaultSimReport 
     }
 }
 
-/// 64-way bit-parallel fault simulation of a whole fault list, with
+/// The lane widths the engines can dispatch to (`SINW_LANES` values).
+pub const SUPPORTED_LANES: [usize; 4] = [1, 2, 4, 8];
+
+/// The engine-default lane width: the `SINW_LANES` environment variable
+/// when set to a supported width ({1, 2, 4, 8}), otherwise 1 (the
+/// historical 64-wide kernel). Unparsable or unsupported values fall back
+/// to 1 rather than aborting a run.
+#[must_use]
+pub fn configured_lanes() -> usize {
+    match std::env::var("SINW_LANES") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(l) if SUPPORTED_LANES.contains(&l) => l,
+            _ => 1,
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Monomorphise a generic engine call over the supported lane widths.
+macro_rules! dispatch_lanes {
+    ($lanes:expr, $func:ident($($arg:expr),* $(,)?)) => {
+        match $lanes {
+            1 => $func::<1>($($arg),*),
+            2 => $func::<2>($($arg),*),
+            4 => $func::<4>($($arg),*),
+            8 => $func::<8>($($arg),*),
+            other => panic!(
+                "unsupported lane count {other}; supported: {:?}",
+                SUPPORTED_LANES
+            ),
+        }
+    };
+}
+
+/// Worker count resolution shared by the threaded engines: 0 = auto.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Chunk granularity for the work-stealing queue: nominally eight chunks
+/// per worker so there is slack to steal, capped at 64 faults per chunk
+/// so big universes stay fine-grained, floored at one.
+fn steal_chunk_size(n_faults: usize, workers: usize) -> usize {
+    n_faults.div_ceil(workers * 8).clamp(1, 64)
+}
+
+/// How a thread-parallel run distributed its work: the observability
+/// counters of the work-stealing queue, returned by the `*_stats` engine
+/// variants and recorded by the scaling benches (and asserted non-zero by
+/// the work-stealing determinism test).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Workers actually spawned (after clamping to the fault count).
+    pub workers: usize,
+    /// Chunks the fault list was cut into.
+    pub chunks: usize,
+    /// Faults per chunk (the last chunk may be short).
+    pub chunk_size: usize,
+    /// Successful steal operations across all workers.
+    pub steals: usize,
+}
+
+/// Wide bit-parallel fault simulation of a whole fault list, with
 /// optional fault dropping (a dropped fault is not re-simulated in later
 /// blocks). The inner loop is the event-driven kernel over a
-/// [`SimGraph`] built once per call.
+/// [`SimGraph`] built once per call, at the [`configured_lanes`] width
+/// (64 patterns per block per lane).
 #[must_use]
 pub fn simulate_faults(
     circuit: &Circuit,
@@ -747,9 +867,35 @@ pub fn simulate_faults(
     patterns: &[Vec<bool>],
     drop_detected: bool,
 ) -> FaultSimReport {
-    let prepared = prepare(circuit, patterns, 64);
+    simulate_faults_lanes(circuit, faults, patterns, drop_detected, configured_lanes())
+}
+
+/// [`simulate_faults`] at an explicit lane width.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+#[must_use]
+pub fn simulate_faults_lanes(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    lanes: usize,
+) -> FaultSimReport {
+    dispatch_lanes!(lanes, sim_event(circuit, faults, patterns, drop_detected))
+}
+
+fn sim_event<const L: usize>(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+) -> FaultSimReport {
+    let block = PatternBlock::<L>::CAPACITY;
+    let prepared = prepare::<L>(circuit, patterns, block);
     let graph = SimGraph::build(circuit);
-    let firsts = first_detections_for(&graph, faults, &prepared, 64, drop_detected);
+    let firsts = first_detections_for(&graph, faults, &prepared, block, drop_detected);
     report_from(firsts, patterns.len())
 }
 
@@ -767,8 +913,8 @@ pub fn simulate_faults_full_pass(
     patterns: &[Vec<bool>],
     drop_detected: bool,
 ) -> FaultSimReport {
-    let prepared = prepare(circuit, patterns, 64);
-    let mut scratch = vec![0u64; circuit.signal_count()];
+    let prepared = prepare::<1>(circuit, patterns, 64);
+    let mut scratch = vec![PatternWords::<1>::ZERO; circuit.signal_count()];
     let firsts = first_detections_with(faults, &prepared, 64, drop_detected, {
         |fault, block, good| full_pass_detect_mask(circuit, fault, block, good, &mut scratch)
     });
@@ -784,24 +930,154 @@ pub fn simulate_faults_serial(
     patterns: &[Vec<bool>],
     drop_detected: bool,
 ) -> FaultSimReport {
-    let prepared = prepare(circuit, patterns, 1);
+    let prepared = prepare::<1>(circuit, patterns, 1);
     let graph = SimGraph::build(circuit);
     let firsts = first_detections_for(&graph, faults, &prepared, 1, drop_detected);
     report_from(firsts, patterns.len())
 }
 
-/// Thread-parallel PPSFP: the collapsed fault list is split into
-/// contiguous chunks, one per worker, on top of the 64-way bit-parallel
-/// blocks. `threads = 0` uses [`std::thread::available_parallelism`].
+/// Thread-parallel PPSFP over a **work-stealing** chunk queue: the fault
+/// list is cut into fixed chunks ([`StealStats::chunk_size`] faults each)
+/// dealt out as contiguous per-worker spans; a worker that exhausts its
+/// span steals the upper half of a peer's. `threads = 0` uses
+/// [`std::thread::available_parallelism`]. Runs at [`configured_lanes`].
 ///
-/// The [`SimGraph`] precompute and the per-block
-/// good-machine words are computed once and shared read-only; each worker
-/// owns a private [`FaultSimScratch`]. The report is identical to
-/// [`simulate_faults`] (and to [`simulate_faults_serial`]): stuck-at
-/// faults are independent, and chunk results are concatenated in fault
-/// order.
+/// The [`SimGraph`] precompute and the per-block good-machine words are
+/// computed once and shared read-only; each worker owns a private
+/// [`FaultSimScratch`]. Chunk boundaries are a pure function of the
+/// input, and every chunk's result lands in its own disjoint slice of
+/// the output, so the report is bit-identical to [`simulate_faults`]
+/// (and to [`simulate_faults_serial`]) no matter how chunks migrate
+/// between workers.
 #[must_use]
 pub fn simulate_faults_threaded(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    threads: usize,
+) -> FaultSimReport {
+    simulate_faults_threaded_lanes(
+        circuit,
+        faults,
+        patterns,
+        drop_detected,
+        threads,
+        configured_lanes(),
+    )
+}
+
+/// [`simulate_faults_threaded`] at an explicit lane width.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+#[must_use]
+pub fn simulate_faults_threaded_lanes(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    threads: usize,
+    lanes: usize,
+) -> FaultSimReport {
+    simulate_faults_threaded_stats(circuit, faults, patterns, drop_detected, threads, lanes).0
+}
+
+/// [`simulate_faults_threaded_lanes`] plus the work-stealing counters of
+/// the run — what the scaling benches record and the determinism test
+/// asserts on.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+#[must_use]
+pub fn simulate_faults_threaded_stats(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    threads: usize,
+    lanes: usize,
+) -> (FaultSimReport, StealStats) {
+    dispatch_lanes!(
+        lanes,
+        sim_threaded(circuit, faults, patterns, drop_detected, threads)
+    )
+}
+
+fn sim_threaded<const L: usize>(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    threads: usize,
+) -> (FaultSimReport, StealStats) {
+    if faults.is_empty() {
+        return (
+            report_from(Vec::new(), patterns.len()),
+            StealStats::default(),
+        );
+    }
+    let workers = resolve_threads(threads).min(faults.len());
+    let block = PatternBlock::<L>::CAPACITY;
+    let prepared = prepare::<L>(circuit, patterns, block);
+    let graph = SimGraph::build(circuit);
+    let chunk = steal_chunk_size(faults.len(), workers);
+    let queue = WorkQueue::new(faults.len(), workers, chunk);
+    let mut firsts: Vec<Option<usize>> = vec![None; faults.len()];
+    {
+        // One lock-protected output slot per chunk. Chunk boundaries are
+        // fixed up front, so whoever claims a chunk writes the same bytes
+        // to the same slot; locks are uncontended (a chunk has exactly
+        // one owner at a time) and exist to satisfy the borrow checker
+        // across workers.
+        let slots: Vec<Mutex<&mut [Option<usize>]>> =
+            firsts.chunks_mut(chunk).map(Mutex::new).collect();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queue = &queue;
+                let slots = &slots;
+                let prepared = &prepared;
+                let graph = &graph;
+                s.spawn(move || {
+                    let mut scratch = FaultSimScratch::new();
+                    scratch.ensure_graph(graph);
+                    while let Some(cid) = queue.pop(w) {
+                        let local = first_detections_with(
+                            &faults[queue.item_range(cid)],
+                            prepared,
+                            block,
+                            drop_detected,
+                            |fault, blk, good| {
+                                event_detect_mask(graph, fault, blk.mask(), good, &mut scratch)
+                            },
+                        );
+                        slots[cid]
+                            .lock()
+                            .expect("chunk slot poisoned")
+                            .copy_from_slice(&local);
+                    }
+                });
+            }
+        });
+    }
+    let stats = StealStats {
+        workers,
+        chunks: queue.chunk_count(),
+        chunk_size: chunk,
+        steals: queue.steals(),
+    };
+    (report_from(firsts, patterns.len()), stats)
+}
+
+/// The retained **static-partition** thread-parallel engine: one
+/// contiguous fault chunk per worker, no stealing, `L = 1` blocks — the
+/// pre-work-stealing baseline the `ppsfp_scaling` ablation measures the
+/// lane-wide stealing engine against. Reports bit-identically to
+/// [`simulate_faults_threaded`].
+#[must_use]
+pub fn simulate_faults_threaded_static(
     circuit: &Circuit,
     faults: &[StuckAtFault],
     patterns: &[Vec<bool>],
@@ -811,13 +1087,8 @@ pub fn simulate_faults_threaded(
     if faults.is_empty() {
         return report_from(Vec::new(), patterns.len());
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        threads
-    }
-    .min(faults.len());
-    let prepared = prepare(circuit, patterns, 64);
+    let threads = resolve_threads(threads).min(faults.len());
+    let prepared = prepare::<1>(circuit, patterns, 64);
     let graph = SimGraph::build(circuit);
     let chunk = faults.len().div_ceil(threads);
     let mut firsts: Vec<Option<usize>> = Vec::with_capacity(faults.len());
@@ -886,19 +1157,20 @@ pub fn compact_reverse(
     patterns: &[Vec<bool>],
 ) -> Vec<Vec<bool>> {
     let graph = SimGraph::build(circuit);
-    let mut scratch = FaultSimScratch::new();
+    let mut scratch: FaultSimScratch = FaultSimScratch::new();
     scratch.ensure_graph(&graph);
-    let mut good = vec![0u64; circuit.signal_count()];
+    let mut good = vec![PatternWords::<1>::ZERO; circuit.signal_count()];
     let mut kept: Vec<Vec<bool>> = Vec::new();
     let mut remaining: Vec<StuckAtFault> = faults.to_vec();
     for p in patterns.iter().rev() {
         if remaining.is_empty() {
             break;
         }
-        let block = PatternBlock::pack(circuit, std::slice::from_ref(p));
+        let block: PatternBlock = PatternBlock::pack(circuit, std::slice::from_ref(p));
         good_sim_into(circuit, &block, &mut good);
         let before = remaining.len();
-        remaining.retain(|f| event_detect_mask(&graph, *f, block.mask(), &good, &mut scratch) == 0);
+        remaining
+            .retain(|f| event_detect_mask(&graph, *f, block.mask(), &good, &mut scratch).is_zero());
         if remaining.len() < before {
             kept.push(p.clone());
         }
@@ -1017,21 +1289,21 @@ impl SignatureMatrix {
 }
 
 /// Capture rows for a contiguous chunk of faults into `out` (row-major,
-/// `words_per_row` words per fault), reusing one scratch per call — the
-/// per-worker inner loop of every capture engine.
-fn capture_rows(
+/// `words_per_row` words per fault), reusing the caller's scratch and
+/// per-PO diff buffer — the per-chunk inner loop of every capture engine.
+#[allow(clippy::too_many_arguments)]
+fn capture_rows<const L: usize>(
     graph: &SimGraph,
     po_signals: &[SignalId],
     faults: &[StuckAtFault],
-    prepared: &PreparedPatterns,
+    prepared: &PreparedPatterns<L>,
     block_size: usize,
     n_outputs: usize,
     words_per_row: usize,
+    scratch: &mut FaultSimScratch<L>,
+    po_diff: &mut [PatternWords<L>],
     out: &mut [u64],
 ) {
-    let mut scratch = FaultSimScratch::new();
-    scratch.ensure_graph(graph);
-    let mut po_diff = vec![0u64; n_outputs];
     for (fi, &fault) in faults.iter().enumerate() {
         let row = &mut out[fi * words_per_row..(fi + 1) * words_per_row];
         for (bi, (block, good)) in prepared.blocks.iter().enumerate() {
@@ -1040,34 +1312,28 @@ fn capture_rows(
                 fault,
                 block.mask(),
                 good,
-                &mut scratch,
+                scratch,
                 po_signals,
-                &mut po_diff,
+                po_diff,
             );
-            for (o, &diff) in po_diff.iter().enumerate() {
-                let mut w = diff;
-                while w != 0 {
-                    let k = w.trailing_zeros() as usize;
+            for (o, diff) in po_diff.iter().enumerate() {
+                for k in diff.set_bits() {
                     let bit = (bi * block_size + k) * n_outputs + o;
                     row[bit / 64] |= 1u64 << (bit % 64);
-                    w &= w - 1;
                 }
             }
         }
     }
 }
 
-/// Shared setup of every capture engine: allocate the matrix, prepare
-/// the blocks and the [`SimGraph`] once, then fill the rows — on this
-/// thread when `threads <= 1`, otherwise across scoped workers on
-/// contiguous fault chunks (disjoint `chunks_mut` row slices, so the
-/// result is bit-identical regardless of worker count).
-fn capture_with(
+/// Single-threaded capture engine at lane width `L`: allocate the matrix,
+/// prepare the blocks and the [`SimGraph`] once, fill every row on this
+/// thread.
+fn capture_single<const L: usize>(
     circuit: &Circuit,
     faults: &[StuckAtFault],
     patterns: &[Vec<bool>],
     block_size: usize,
-    threads: usize,
 ) -> SignatureMatrix {
     let mut sig = SignatureMatrix::zeroed(
         faults.len(),
@@ -1077,57 +1343,103 @@ fn capture_with(
     if sig.bits.is_empty() {
         return sig;
     }
-    let prepared = prepare(circuit, patterns, block_size);
+    let prepared = prepare::<L>(circuit, patterns, block_size);
     let graph = SimGraph::build(circuit);
     let words_per_row = sig.words_per_row;
     let n_outputs = sig.n_outputs;
-    let threads = threads.clamp(1, faults.len());
-    if threads == 1 {
-        capture_rows(
-            &graph,
-            circuit.primary_outputs(),
-            faults,
-            &prepared,
-            block_size,
-            n_outputs,
-            words_per_row,
-            &mut sig.bits,
-        );
-        return sig;
+    let mut scratch = FaultSimScratch::new();
+    scratch.ensure_graph(&graph);
+    let mut po_diff = vec![PatternWords::<L>::ZERO; n_outputs];
+    capture_rows(
+        &graph,
+        circuit.primary_outputs(),
+        faults,
+        &prepared,
+        block_size,
+        n_outputs,
+        words_per_row,
+        &mut scratch,
+        &mut po_diff,
+        &mut sig.bits,
+    );
+    sig
+}
+
+/// Thread-parallel capture engine at lane width `L`, on the same
+/// work-stealing chunk queue as [`simulate_faults_threaded`]. A chunk of
+/// faults owns a disjoint `chunk * words_per_row` slice of the bit
+/// matrix, so rows land bit-identically regardless of which worker
+/// processes which chunk.
+fn capture_stealing<const L: usize>(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    threads: usize,
+) -> (SignatureMatrix, StealStats) {
+    let mut sig = SignatureMatrix::zeroed(
+        faults.len(),
+        patterns.len(),
+        circuit.primary_outputs().len(),
+    );
+    if sig.bits.is_empty() {
+        return (sig, StealStats::default());
     }
-    let chunk = faults.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = faults
-            .chunks(chunk)
-            .zip(sig.bits.chunks_mut(chunk * words_per_row))
-            .map(|(slice, rows)| {
+    let block_size = PatternBlock::<L>::CAPACITY;
+    let prepared = prepare::<L>(circuit, patterns, block_size);
+    let graph = SimGraph::build(circuit);
+    let words_per_row = sig.words_per_row;
+    let n_outputs = sig.n_outputs;
+    let workers = resolve_threads(threads).min(faults.len());
+    let chunk = steal_chunk_size(faults.len(), workers);
+    let queue = WorkQueue::new(faults.len(), workers, chunk);
+    {
+        let slots: Vec<Mutex<&mut [u64]>> = sig
+            .bits
+            .chunks_mut(chunk * words_per_row)
+            .map(Mutex::new)
+            .collect();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queue = &queue;
+                let slots = &slots;
                 let prepared = &prepared;
                 let graph = &graph;
                 let po_signals = circuit.primary_outputs();
                 s.spawn(move || {
-                    capture_rows(
-                        graph,
-                        po_signals,
-                        slice,
-                        prepared,
-                        block_size,
-                        n_outputs,
-                        words_per_row,
-                        rows,
-                    );
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("signature-capture worker panicked");
-        }
-    });
-    sig
+                    let mut scratch = FaultSimScratch::new();
+                    scratch.ensure_graph(graph);
+                    let mut po_diff = vec![PatternWords::<L>::ZERO; n_outputs];
+                    while let Some(cid) = queue.pop(w) {
+                        let mut guard = slots[cid].lock().expect("row slot poisoned");
+                        capture_rows(
+                            graph,
+                            po_signals,
+                            &faults[queue.item_range(cid)],
+                            prepared,
+                            block_size,
+                            n_outputs,
+                            words_per_row,
+                            &mut scratch,
+                            &mut po_diff,
+                            &mut guard,
+                        );
+                    }
+                });
+            }
+        });
+    }
+    let stats = StealStats {
+        workers,
+        chunks: queue.chunk_count(),
+        chunk_size: chunk,
+        steals: queue.steals(),
+    };
+    (sig, stats)
 }
 
-/// Signature capture on the 64-way bit-parallel engine: the full
-/// per-fault × per-pattern × per-PO response matrix of `faults` against
-/// `patterns`.
+/// Signature capture on the bit-parallel engine: the full per-fault ×
+/// per-pattern × per-PO response matrix of `faults` against `patterns`,
+/// at the lane width [`configured_lanes`] selects.
 ///
 /// Unlike the detect-mask engines there is deliberately **no fault
 /// dropping** and no saturation short-circuit — diagnosis needs every
@@ -1139,7 +1451,31 @@ pub fn capture_signatures(
     faults: &[StuckAtFault],
     patterns: &[Vec<bool>],
 ) -> SignatureMatrix {
-    capture_with(circuit, faults, patterns, 64, 1)
+    capture_signatures_lanes(circuit, faults, patterns, configured_lanes())
+}
+
+/// [`capture_signatures`] at an explicit lane width `lanes` ∈
+/// [`SUPPORTED_LANES`] (the lane-differential suite's entry point; the
+/// matrix is bit-identical at every width).
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+#[must_use]
+pub fn capture_signatures_lanes(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    lanes: usize,
+) -> SignatureMatrix {
+    fn go<const L: usize>(
+        circuit: &Circuit,
+        faults: &[StuckAtFault],
+        patterns: &[Vec<bool>],
+    ) -> SignatureMatrix {
+        capture_single::<L>(circuit, faults, patterns, PatternBlock::<L>::CAPACITY)
+    }
+    dispatch_lanes!(lanes, go(circuit, faults, patterns))
 }
 
 /// [`capture_signatures`] one pattern at a time — the ablation baseline
@@ -1150,13 +1486,13 @@ pub fn capture_signatures_serial(
     faults: &[StuckAtFault],
     patterns: &[Vec<bool>],
 ) -> SignatureMatrix {
-    capture_with(circuit, faults, patterns, 1, 1)
+    capture_single::<1>(circuit, faults, patterns, 1)
 }
 
-/// Thread-parallel signature capture: the fault list is split into
-/// contiguous chunks, one per worker, on top of the 64-way blocks —
-/// the same partitioning as [`simulate_faults_threaded`], with the same
-/// shared read-only [`SimGraph`]/good-machine precompute and one private
+/// Thread-parallel signature capture: fault chunks are claimed from the
+/// same work-stealing queue as [`simulate_faults_threaded`], on
+/// top of the lane blocks [`configured_lanes`] selects, with the shared
+/// read-only [`SimGraph`]/good-machine precompute and one private
 /// [`FaultSimScratch`] per worker. `threads = 0` auto-detects.
 ///
 /// Rows land in fault order, so the matrix is bit-identical to
@@ -1168,12 +1504,24 @@ pub fn capture_signatures_threaded(
     patterns: &[Vec<bool>],
     threads: usize,
 ) -> SignatureMatrix {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        threads
-    };
-    capture_with(circuit, faults, patterns, 64, threads)
+    capture_signatures_threaded_stats(circuit, faults, patterns, threads, configured_lanes()).0
+}
+
+/// [`capture_signatures_threaded`] at an explicit lane width, also
+/// reporting the work-stealing [`StealStats`].
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+#[must_use]
+pub fn capture_signatures_threaded_stats(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    threads: usize,
+    lanes: usize,
+) -> (SignatureMatrix, StealStats) {
+    dispatch_lanes!(lanes, capture_stealing(circuit, faults, patterns, threads))
 }
 
 #[cfg(test)]
@@ -1304,21 +1652,21 @@ mod tests {
         let o = c.add_gate(CellKind::Inv, "g", &[a]);
         c.mark_output(o);
         let fault = StuckAtFault::sa0(FaultSite::Signal(a));
-        let block = PatternBlock::pack(&c, &[vec![false], vec![true], vec![true]]);
-        assert_eq!(detect_mask(&c, fault, &block), 0b110);
+        let block: PatternBlock = PatternBlock::pack(&c, &[vec![false], vec![true], vec![true]]);
+        assert_eq!(detect_mask(&c, fault, &block), 0b110u64);
     }
 
     #[test]
     fn detect_mask_in_reuses_buffers_across_circuits() {
         // One scratch serves circuits of different sizes, growing once and
         // agreeing with the allocating wrapper everywhere.
-        let mut scratch = FaultSimScratch::new();
+        let mut scratch: FaultSimScratch = FaultSimScratch::new();
         for c in [Circuit::c17(), Circuit::full_adder(), Circuit::c17()] {
             let n_pi = c.primary_inputs().len();
             let patterns: Vec<Vec<bool>> = (0..(1u32 << n_pi))
                 .map(|bits| (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect())
                 .collect();
-            let block = PatternBlock::pack(&c, &patterns);
+            let block: PatternBlock = PatternBlock::pack(&c, &patterns);
             for fault in enumerate_stuck_at(&c) {
                 assert_eq!(
                     detect_mask_in(&c, fault, &block, &mut scratch),
@@ -1342,14 +1690,14 @@ mod tests {
             assert_eq!(sig, capture_signatures_serial(&c, &faults, &patterns));
             assert_eq!(sig, capture_signatures_threaded(&c, &faults, &patterns, 3));
             for (p, pattern) in patterns.iter().enumerate() {
-                let block = PatternBlock::pack(&c, std::slice::from_ref(pattern));
+                let block: PatternBlock = PatternBlock::pack(&c, std::slice::from_ref(pattern));
                 let good = good_sim(&c, &block);
                 for (fi, &fault) in faults.iter().enumerate() {
                     let faulty = faulty_sim(&c, fault, &block);
                     for (o, po) in c.primary_outputs().iter().enumerate() {
                         assert_eq!(
                             sig.fails(fi, p, o),
-                            (good[po.0] ^ faulty[po.0]) & 1 != 0,
+                            (good[po.0] ^ faulty[po.0]).get_bit(0),
                             "{} at pattern {p}, PO {o}",
                             fault.describe(&c)
                         );
@@ -1415,25 +1763,71 @@ mod tests {
     fn try_pack_reports_each_violation() {
         let c = Circuit::c17();
         assert_eq!(
-            PatternBlock::try_pack(&c, &[]).unwrap_err(),
+            PatternBlock::<1>::try_pack(&c, &[]).unwrap_err(),
             PackError::Empty
         );
         let too_many = vec![vec![false; 5]; 65];
         assert_eq!(
-            PatternBlock::try_pack(&c, &too_many).unwrap_err(),
-            PackError::TooManyPatterns(65)
+            PatternBlock::<1>::try_pack(&c, &too_many).unwrap_err(),
+            PackError::TooManyPatterns {
+                got: 65,
+                capacity: 64
+            }
         );
+        // The same 65 patterns fit a two-lane block.
+        let wide = PatternBlock::<2>::try_pack(&c, &too_many).expect("fits 128-bit capacity");
+        assert_eq!(wide.count, 65);
+        assert_eq!(wide.mask(), PatternWords::<2>::valid_mask(65));
         let bad_arity = vec![vec![false; 5], vec![true; 4]];
         assert_eq!(
-            PatternBlock::try_pack(&c, &bad_arity).unwrap_err(),
+            PatternBlock::<1>::try_pack(&c, &bad_arity).unwrap_err(),
             PackError::ArityMismatch {
                 pattern: 1,
                 got: 4,
                 expected: 5
             }
         );
-        let ok = PatternBlock::try_pack(&c, &[vec![true; 5]]).expect("valid block packs");
+        let ok = PatternBlock::<1>::try_pack(&c, &[vec![true; 5]]).expect("valid block packs");
         assert_eq!(ok.count, 1);
-        assert_eq!(ok.mask(), 1);
+        assert_eq!(ok.mask(), 1u64);
+    }
+
+    #[test]
+    fn all_engines_agree_across_lane_widths() {
+        let c = Circuit::ripple_adder(3);
+        let faults = enumerate_stuck_at(&c);
+        let patterns = random_patterns(c.primary_inputs().len(), 200, 11);
+        let reference = simulate_faults_lanes(&c, &faults, &patterns, true, 1);
+        let ref_sig = capture_signatures_lanes(&c, &faults, &patterns, 1);
+        for lanes in SUPPORTED_LANES {
+            assert_eq!(
+                simulate_faults_lanes(&c, &faults, &patterns, true, lanes),
+                reference,
+                "event engine at L = {lanes}"
+            );
+            let (thr, _) = simulate_faults_threaded_stats(&c, &faults, &patterns, true, 3, lanes);
+            assert_eq!(thr, reference, "threaded engine at L = {lanes}");
+            assert_eq!(
+                capture_signatures_lanes(&c, &faults, &patterns, lanes),
+                ref_sig,
+                "capture at L = {lanes}"
+            );
+            let (sig, _) = capture_signatures_threaded_stats(&c, &faults, &patterns, 3, lanes);
+            assert_eq!(sig, ref_sig, "threaded capture at L = {lanes}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_matches_static_partitioning() {
+        let c = Circuit::parity_tree(9);
+        let faults = enumerate_stuck_at(&c);
+        let patterns = random_patterns(c.primary_inputs().len(), 96, 23);
+        for drop_detected in [false, true] {
+            let stat = simulate_faults_threaded_static(&c, &faults, &patterns, drop_detected, 4);
+            let (steal, stats) =
+                simulate_faults_threaded_stats(&c, &faults, &patterns, drop_detected, 4, 1);
+            assert_eq!(stat, steal, "drop = {drop_detected}");
+            assert!(stats.chunks > 0 && stats.chunk_size > 0);
+        }
     }
 }

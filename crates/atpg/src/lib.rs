@@ -6,12 +6,16 @@
 //!
 //! * [`podem`] — PODEM stuck-at test generation, with the constrained
 //!   justification mode the cell-aware flow of `sinw-core` builds on;
-//! * [`faultsim`] — serial, 64-way bit-parallel, and thread-parallel
-//!   (PPSFP) stuck-at fault simulation with fault dropping and
-//!   reverse-order compaction, all on an event-driven,
-//!   fanout-cone-restricted kernel over the [`graph`] precompute layer
-//!   (a whole-circuit reference pass is retained for ablations and as
-//!   the property-test oracle);
+//! * [`faultsim`] — serial, wide-word bit-parallel (64·L patterns per
+//!   pass at lane widths `L ∈ {1,2,4,8}`, see [`lanes`]), and
+//!   work-stealing thread-parallel (PPSFP) stuck-at fault simulation
+//!   with fault dropping and reverse-order compaction, all on an
+//!   event-driven, fanout-cone-restricted kernel over the [`graph`]
+//!   precompute layer (a whole-circuit reference pass is retained for
+//!   ablations and as the property-test oracle);
+//! * [`lanes`] — the [`lanes::PatternWords`] `[u64; L]` lane block the
+//!   kernel is generic over, with plain-loop bitwise ops the compiler
+//!   autovectorises;
 //! * [`graph`] — the levelized [`SimGraph`] precompute (topological
 //!   levels, CSR fanout, PO-reachability masks) shared read-only by
 //!   every fault, block and worker;
@@ -55,9 +59,11 @@ pub mod diagnose;
 pub mod fault_list;
 pub mod faultsim;
 pub mod graph;
+pub mod lanes;
 pub mod podem;
 pub mod redundancy;
 pub mod sof;
+mod steal;
 pub mod tpg;
 pub mod twin;
 
@@ -67,11 +73,15 @@ pub use diagnose::{
 };
 pub use fault_list::{enumerate_stuck_at, FaultSite, StuckAtFault};
 pub use faultsim::{
-    capture_signatures, capture_signatures_serial, capture_signatures_threaded, seeded_patterns,
-    simulate_faults, simulate_faults_full_pass, simulate_faults_serial, simulate_faults_threaded,
-    FaultSimReport, FaultSimScratch, PackError, PatternBlock, SignatureMatrix,
+    capture_signatures, capture_signatures_lanes, capture_signatures_serial,
+    capture_signatures_threaded, capture_signatures_threaded_stats, configured_lanes,
+    seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_lanes,
+    simulate_faults_serial, simulate_faults_threaded, simulate_faults_threaded_lanes,
+    simulate_faults_threaded_static, simulate_faults_threaded_stats, FaultSimReport,
+    FaultSimScratch, PackError, PatternBlock, SignatureMatrix, StealStats, SUPPORTED_LANES,
 };
 pub use graph::SimGraph;
+pub use lanes::PatternWords;
 pub use podem::{
     fill_cube, generate_test, generate_test_constrained, justify, PodemConfig, PodemResult,
 };

@@ -36,7 +36,7 @@
 //! never burn a backtrack budget.
 
 use crate::fault_list::{FaultSite, StuckAtFault};
-use crate::faultsim::{good_sim_into, PatternBlock};
+use crate::faultsim::{good_sim_into, PatternBlock, PatternWords};
 use sinw_switch::cells::CellKind;
 use sinw_switch::gate::{Circuit, SignalId};
 
@@ -350,16 +350,16 @@ impl<'a> RedundancyProver<'a> {
             .filter(|k| support_mask[k / 64] & (1u64 << (k % 64)) != 0)
             .collect();
         let total = 1usize << support_pis.len();
-        let mut values = vec![0u64; self.circuit.signal_count()];
+        let mut values: Vec<PatternWords> = vec![PatternWords::ZERO; self.circuit.signal_count()];
         let mut base = 0usize;
         while base < total {
             let count = (total - base).min(64);
-            let mut block_words = vec![0u64; pis.len()];
+            let mut block_words: Vec<PatternWords> = vec![PatternWords::ZERO; pis.len()];
             for j in 0..count {
                 let p = base + j;
                 for (bit, &k) in support_pis.iter().enumerate() {
                     if (p >> bit) & 1 == 1 {
-                        block_words[k] |= 1u64 << j;
+                        block_words[k].set_bit(j);
                     }
                 }
             }
@@ -371,11 +371,11 @@ impl<'a> RedundancyProver<'a> {
             let mut sat = block.mask();
             for (s, v) in constraints {
                 sat &= if *v { values[s.0] } else { !values[s.0] };
-                if sat == 0 {
+                if sat.is_zero() {
                     break;
                 }
             }
-            if sat != 0 {
+            if sat.any() {
                 return true;
             }
             base += count;
@@ -415,8 +415,8 @@ mod tests {
                     .iter()
                     .map(|bits| (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect())
                     .collect();
-                let block = PatternBlock::pack(c, &patterns);
-                detect_mask(c, fault, &block) == 0
+                let block: PatternBlock = PatternBlock::pack(c, &patterns);
+                detect_mask(c, fault, &block).is_zero()
             })
     }
 

@@ -35,7 +35,7 @@
 use crate::collapse::{collapse, CollapsedFaults};
 use crate::fault_list::{enumerate_stuck_at, StuckAtFault};
 use crate::faultsim::{
-    event_detect_mask, good_sim_into, FaultSimScratch, PatternBlock, SplitMix64,
+    event_detect_mask, good_sim_into, FaultSimScratch, PatternBlock, PatternWords, SplitMix64,
 };
 use crate::graph::SimGraph;
 use crate::podem::{generate_test, PodemConfig, PodemResult};
@@ -269,9 +269,9 @@ impl<'a> AtpgEngine<'a> {
         &self,
         fault: StuckAtFault,
         block: &PatternBlock,
-        good: &[u64],
+        good: &[PatternWords],
         scratch: &mut FaultSimScratch,
-    ) -> u64 {
+    ) -> PatternWords {
         event_detect_mask(&self.graph, fault, block.mask(), good, scratch)
     }
 
@@ -281,7 +281,7 @@ impl<'a> AtpgEngine<'a> {
         &self,
         faults: &[StuckAtFault],
         patterns: &[Vec<bool>],
-        good: &mut [u64],
+        good: &mut [PatternWords],
         scratch: &mut FaultSimScratch,
     ) -> Vec<bool> {
         let mut det = vec![false; faults.len()];
@@ -293,7 +293,7 @@ impl<'a> AtpgEngine<'a> {
             let block = PatternBlock::pack(self.circuit, chunk);
             good_sim_into(self.circuit, &block, good);
             for (fi, fault) in faults.iter().enumerate() {
-                if !det[fi] && self.mask_of(*fault, &block, good, scratch) != 0 {
+                if !det[fi] && self.mask_of(*fault, &block, good, scratch).any() {
                     det[fi] = true;
                     alive -= 1;
                 }
@@ -310,7 +310,7 @@ impl<'a> AtpgEngine<'a> {
         let mut statuses = vec![FaultStatus::Undetected; faults.len()];
         let mut scratch = FaultSimScratch::new();
         scratch.ensure_graph(&self.graph);
-        let mut good = vec![0u64; self.circuit.signal_count()];
+        let mut good = vec![PatternWords::ZERO; self.circuit.signal_count()];
         let mut rng = SplitMix64::new(self.config.seed);
         let mut podem_calls = 0usize;
 
@@ -340,10 +340,11 @@ impl<'a> AtpgEngine<'a> {
                     continue;
                 }
                 let mask = self.mask_of(*fault, &block, &good, &mut scratch);
-                if mask != 0 {
+                if mask.any() {
                     statuses[fi] = FaultStatus::DetectedRandom;
                     // First-detection credit goes to the earliest pattern.
-                    credited |= mask & mask.wrapping_neg();
+                    let m = mask.lane(0);
+                    credited |= m & m.wrapping_neg();
                     detections += 1;
                 }
             }
@@ -399,7 +400,7 @@ impl<'a> AtpgEngine<'a> {
                         good_sim_into(self.circuit, &block, &mut good);
                         for (fj, fault) in faults.iter().enumerate() {
                             if statuses[fj] == FaultStatus::Undetected
-                                && self.mask_of(*fault, &block, &good, &mut scratch) != 0
+                                && self.mask_of(*fault, &block, &good, &mut scratch).any()
                             {
                                 statuses[fj] = FaultStatus::DetectedDeterministic;
                             }
@@ -451,7 +452,7 @@ impl<'a> AtpgEngine<'a> {
                         let block = PatternBlock::pack(self.circuit, std::slice::from_ref(&filled));
                         good_sim_into(self.circuit, &block, &mut good);
                         for (fj, fault) in faults.iter().enumerate() {
-                            if !det[fj] && self.mask_of(*fault, &block, &good, &mut scratch) != 0 {
+                            if !det[fj] && self.mask_of(*fault, &block, &good, &mut scratch).any() {
                                 det[fj] = true;
                             }
                         }
@@ -485,7 +486,7 @@ impl<'a> AtpgEngine<'a> {
                 let block = PatternBlock::pack(self.circuit, std::slice::from_ref(p));
                 good_sim_into(self.circuit, &block, &mut good);
                 let before = live.len();
-                live.retain(|f| self.mask_of(*f, &block, &good, &mut scratch) == 0);
+                live.retain(|f| self.mask_of(*f, &block, &good, &mut scratch).is_zero());
                 if live.len() < before {
                     compacted.push(p.clone());
                 }

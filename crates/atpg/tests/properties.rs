@@ -6,9 +6,11 @@ use sinw_atpg::collapse::collapse;
 use sinw_atpg::diagnose::{full_pass_observations, FaultDictionary};
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::{
-    capture_signatures, capture_signatures_serial, capture_signatures_threaded, compact_reverse,
-    detect_mask, detect_mask_in, seeded_patterns, simulate_faults, simulate_faults_full_pass,
-    simulate_faults_serial, simulate_faults_threaded, FaultSimScratch, PatternBlock,
+    capture_signatures, capture_signatures_lanes, capture_signatures_serial,
+    capture_signatures_threaded, capture_signatures_threaded_stats, compact_reverse, detect_mask,
+    detect_mask_in, seeded_patterns, simulate_faults, simulate_faults_full_pass,
+    simulate_faults_lanes, simulate_faults_serial, simulate_faults_threaded,
+    simulate_faults_threaded_stats, FaultSimScratch, PatternBlock, SUPPORTED_LANES,
 };
 use sinw_atpg::podem::{fill_cube, generate_test, PodemConfig, PodemResult};
 use sinw_atpg::tpg::{AtpgConfig, AtpgEngine, FaultStatus};
@@ -295,7 +297,7 @@ proptest! {
         let c = random_circuit(5, n_gates, &seed);
         let pattern_seed = seed.iter().fold(7u64, |acc, b| (acc << 7) ^ u64::from(*b));
         let patterns = seeded_patterns(5, n_patterns.min(64), pattern_seed);
-        let block = PatternBlock::pack(&c, &patterns);
+        let block: PatternBlock = PatternBlock::pack(&c, &patterns);
         let mut scratch = FaultSimScratch::new();
         for fault in enumerate_stuck_at(&c) {
             prop_assert_eq!(
@@ -426,7 +428,7 @@ proptest! {
         let exhaustive: Vec<Vec<bool>> = (0..(1u32 << n_pi))
             .map(|bits| (0..n_pi).map(|k| (bits >> k) & 1 == 1).collect())
             .collect();
-        let block = PatternBlock::pack(&c, &exhaustive);
+        let block: PatternBlock = PatternBlock::pack(&c, &exhaustive);
         for (fi, fault) in faults.iter().enumerate() {
             let rep = collapsed.representatives[collapsed.class_of[fi]];
             prop_assert_eq!(
@@ -435,6 +437,97 @@ proptest! {
                 "{} vs its representative {}",
                 fault.describe(&c),
                 rep.describe(&c)
+            );
+        }
+    }
+
+    /// The lane-differential property: every supported lane width must
+    /// produce `FaultSimReport`s bit-identical to the L = 1 kernel and
+    /// to the whole-circuit full-pass oracle, on both the event engine
+    /// and the work-stealing threaded engine, across random circuits ×
+    /// fault subsets × drop on/off × worker counts. Wider lanes change
+    /// the block capacity (64·L patterns per good-machine pass), so any
+    /// masking or first-detection-index bug that depends on block
+    /// boundaries surfaces here.
+    #[test]
+    fn lane_widths_are_differentially_identical(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..24,
+        n_patterns in 1usize..400,
+        keep_one_in in 1usize..4,
+        drop_detected in any::<bool>(),
+        threads in 1usize..5,
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let universe = enumerate_stuck_at(&c);
+        let faults: Vec<_> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % keep_one_in == 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let pattern_seed = seed.iter().fold(5u64, |acc, b| acc.rotate_left(9) ^ u64::from(*b));
+        let patterns = seeded_patterns(5, n_patterns, pattern_seed);
+        let oracle = simulate_faults_full_pass(&c, &faults, &patterns, drop_detected);
+        let narrow = simulate_faults_lanes(&c, &faults, &patterns, drop_detected, 1);
+        prop_assert_eq!(&oracle, &narrow);
+        for lanes in SUPPORTED_LANES {
+            let wide = simulate_faults_lanes(&c, &faults, &patterns, drop_detected, lanes);
+            prop_assert_eq!(&narrow, &wide, "event engine at L = {}", lanes);
+            let (thr, _) = simulate_faults_threaded_stats(
+                &c, &faults, &patterns, drop_detected, threads, lanes,
+            );
+            prop_assert_eq!(&narrow, &thr, "threaded engine at L = {}", lanes);
+        }
+    }
+
+    /// The lane-differential property for signature capture: the full
+    /// per-fault × per-pattern × per-PO `SignatureMatrix` must come out
+    /// bit-identical at every lane width, single-threaded and
+    /// work-stealing, and agree row by row with the whole-circuit
+    /// `full_pass_observations` oracle.
+    #[test]
+    fn signature_capture_is_lane_and_schedule_invariant(
+        seed in proptest::collection::vec(any::<u8>(), 24),
+        n_gates in 2usize..16,
+        n_patterns in 1usize..200,
+        keep_one_in in 1usize..4,
+        threads in 1usize..5,
+    ) {
+        let c = random_circuit(5, n_gates, &seed);
+        let universe = enumerate_stuck_at(&c);
+        let faults: Vec<_> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % keep_one_in == 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let pattern_seed = seed.iter().fold(13u64, |acc, b| acc.rotate_left(7) ^ u64::from(*b));
+        let patterns = seeded_patterns(5, n_patterns, pattern_seed);
+        let narrow = capture_signatures_lanes(&c, &faults, &patterns, 1);
+        for lanes in SUPPORTED_LANES {
+            let wide = capture_signatures_lanes(&c, &faults, &patterns, lanes);
+            prop_assert_eq!(&narrow, &wide, "capture at L = {}", lanes);
+            let (thr, _) = capture_signatures_threaded_stats(
+                &c, &faults, &patterns, threads, lanes,
+            );
+            prop_assert_eq!(&narrow, &thr, "threaded capture at L = {}", lanes);
+        }
+        // Row-by-row against the whole-circuit observation oracle.
+        for (fi, &fault) in faults.iter().enumerate() {
+            let mut observed = Vec::new();
+            for p in 0..patterns.len() {
+                for o in 0..c.primary_outputs().len() {
+                    if narrow.fails(fi, p, o) {
+                        observed.push((p, o));
+                    }
+                }
+            }
+            prop_assert_eq!(
+                observed,
+                full_pass_observations(&c, fault, &patterns),
+                "{} row diverges from the oracle",
+                fault.describe(&c)
             );
         }
     }

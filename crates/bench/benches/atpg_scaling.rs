@@ -13,8 +13,11 @@
 //!
 //! Knobs (environment variables):
 //!
-//! * `SINW_ATPG_WIDTH` — adder width in bits, 4-bit select blocks
-//!   (default 32 measuring, 8 on smoke runs without `--bench`);
+//! * `SINW_ATPG_WIDTHS` — comma-separated adder widths in bits, 4-bit
+//!   select blocks (default `16,32,48` measuring, `8` on smoke runs
+//!   without `--bench`); the full campaign runs at every width so
+//!   `BENCH_atpg.json` records a scaling curve, and the
+//!   random-vs-full mode ablation runs at the largest width;
 //! * `SINW_ATPG_BLOCKS` — random-phase block cap (default 64);
 //! * `SINW_BENCH_JSON` — where to write the machine-readable artifact
 //!   (default `BENCH_atpg.json` in the working directory, same
@@ -35,9 +38,48 @@ use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::simulate_faults;
 use sinw_atpg::tpg::{AtpgConfig, AtpgEngine, AtpgReport};
-use sinw_bench::{env_usize, write_bench_json};
+use sinw_bench::{env_usize, env_usize_list, write_bench_json};
 use sinw_switch::generate::carry_select_adder;
 use std::time::{Duration, Instant};
+
+/// Time the full campaign at one adder width (best of `reps` runs) and
+/// return a JSON curve row.
+fn curve_point(width: usize, blocks: usize, reps_count: usize) -> String {
+    let circuit = carry_select_adder(width, 4);
+    let faults = enumerate_stuck_at(&circuit);
+    let collapsed = collapse(&circuit, &faults);
+    let config = AtpgConfig {
+        max_random_blocks: blocks,
+        ..AtpgConfig::default()
+    };
+    let mut best = Duration::MAX;
+    let mut report = None;
+    for _ in 0..reps_count {
+        let engine = AtpgEngine::new(&circuit, config);
+        let t0 = Instant::now();
+        let r = engine.run(&collapsed.representatives);
+        best = best.min(t0.elapsed());
+        report = Some(r);
+    }
+    let report = report.expect("at least one run");
+    println!(
+        "  csa{width}: {} cells, {} collapsed — full campaign {:.1} ms, {} patterns",
+        circuit.gates().len(),
+        collapsed.representatives.len(),
+        best.as_secs_f64() * 1e3,
+        report.patterns.len()
+    );
+    format!(
+        "    {{\"circuit\": \"csa{width}\", \"width\": {width}, \"cells\": {}, \
+         \"collapsed\": {}, \"wall_ms\": {:.3}, \"patterns\": {}, \
+         \"coverage_testable\": {:.6}}}",
+        circuit.gates().len(),
+        collapsed.representatives.len(),
+        best.as_secs_f64() * 1e3,
+        report.patterns.len(),
+        report.testable_coverage()
+    )
+}
 
 fn campaign_json(label: &str, report: &AtpgReport, wall: Duration) -> String {
     format!(
@@ -63,8 +105,18 @@ fn campaign_json(label: &str, report: &AtpgReport, wall: Duration) -> String {
 
 fn bench(c: &mut Criterion) {
     let measuring = std::env::args().any(|a| a == "--bench");
-    let width = env_usize("SINW_ATPG_WIDTH", if measuring { 32 } else { 8 });
+    let widths = env_usize_list(
+        "SINW_ATPG_WIDTHS",
+        if measuring { &[16, 32, 48] } else { &[8] },
+    );
     let blocks = env_usize("SINW_ATPG_BLOCKS", 64);
+    let width = widths.iter().copied().max().unwrap_or(8);
+
+    println!("\nATPG campaign scaling curve over widths {widths:?} (full campaign):");
+    let curve: Vec<String> = widths
+        .iter()
+        .map(|&w| curve_point(w, blocks, if measuring { 3 } else { 1 }))
+        .collect();
 
     let circuit = carry_select_adder(width, 4);
     let faults = enumerate_stuck_at(&circuit);
@@ -158,14 +210,16 @@ fn bench(c: &mut Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"atpg_scaling\",\n  \"circuit\": {{\"name\": \"csa{width}\", \
          \"width\": {width}, \"cells\": {}, \"inputs\": {}, \"outputs\": {}}},\n  \
-         \"faults\": {{\"universe\": {}, \"collapsed\": {}}},\n  \"modes\": [\n{},\n{}\n  ]\n}}\n",
+         \"faults\": {{\"universe\": {}, \"collapsed\": {}}},\n  \"modes\": [\n{},\n{}\n  ],\n  \
+         \"curve\": [\n{}\n  ]\n}}\n",
         circuit.gates().len(),
         circuit.primary_inputs().len(),
         circuit.primary_outputs().len(),
         faults.len(),
         reps.len(),
         campaign_json("random_only", &random_only, t_random),
-        campaign_json("full", &full, t_full)
+        campaign_json("full", &full, t_full),
+        curve.join(",\n")
     );
     write_bench_json("BENCH_atpg.json", &json);
 

@@ -1,217 +1,345 @@
-//! PPSFP engine ablation on a generated array-multiplier fault universe:
-//! serial vs 64-way bit-parallel vs thread-parallel, plus the
-//! **full-pass vs event-driven** kernel ablation (the whole-circuit
+//! PPSFP engine scaling **curve** on generated array-multiplier fault
+//! universes: width × lanes × threads, not a single point.
+//!
+//! Per width the ladder covers the serial baseline (small widths only),
+//! the **full-pass vs event-driven** kernel ablation (the whole-circuit
 //! reference inner loop against the fanout-cone-restricted worklist
-//! kernel all engines now run on).
+//! kernel), the event kernel at every measured lane width
+//! (`PatternWords<L>`, 64·L patterns per block), the old
+//! static-partition threaded engine, and the work-stealing threaded
+//! engine at every lane × thread combination. Every row is asserted
+//! bit-identical to the first engine that ran, so the bench doubles as
+//! an integration test of the lane/deque machinery at real workload
+//! sizes.
 //!
 //! Knobs (environment variables):
 //!
-//! * `SINW_PPSFP_WIDTH` — multiplier operand width (default 32, i.e. a
-//!   32×32 array multiplier: ~4k cells, ~20k stuck-at faults);
-//! * `SINW_PPSFP_PATTERNS` — pattern count (default 16);
-//! * `SINW_PPSFP_THREADS` — worker count for the threaded engine
+//! * `SINW_PPSFP_WIDTHS` — comma-separated multiplier operand widths
+//!   (default `16,32,64` measuring — 64 is the c6288-class fixture —
+//!   and `4` for smoke runs);
+//! * `SINW_PPSFP_PATTERNS` — pattern count (default 96 measuring,
+//!   16 smoke);
+//! * `SINW_PPSFP_THREADS` — worker count for the threaded engines
 //!   (default 0 = `std::thread::available_parallelism`);
+//! * `SINW_LANES` — extra lane width folded into the measured set (the
+//!   engine-default knob, also read by the library dispatch);
 //! * `SINW_BENCH_JSON` — where to write the machine-readable perf
 //!   trajectory (default `BENCH_ppsfp.json` in the working directory).
 //!
-//! Besides the human-readable ladder, the run writes `BENCH_ppsfp.json`
-//! (engine → wall-time ms and speedup, plus circuit/fault-universe sizes)
-//! so CI can archive the perf trajectory as an artifact.
-//!
-//! The CI bench-smoke step runs this with `SINW_PPSFP_WIDTH=4`; invoked
-//! without the `--bench` flag (e.g. `cargo test --benches`) the width also
-//! drops to 4 so smoke runs stay fast. The ≥5× event-driven-vs-full-pass
-//! assertion only arms at measuring widths (`--bench` and width ≥ 32, the
-//! default universe): on small smoke circuits the disturbed cone *is*
-//! most of the netlist, so the asymptotic win has nothing to bite on.
+//! The run writes `BENCH_ppsfp.json` with the full curve (one row per
+//! width × engine × lanes × threads, wall-time ms and steal counts)
+//! plus an `acceptance` object: at the largest measuring width the
+//! L = 4 work-stealing kernel must beat the L = 1 static-partition
+//! kernel at equal thread count. The serial baseline only runs at
+//! widths ≤ 16 and the full-pass oracle at widths ≤ 32 — both are
+//! orders of magnitude off the event kernel and would dominate the
+//! wall clock at c6288-class sizes. The ≥5× event-vs-full-pass
+//! assertion arms at measuring widths ≥ 32, as before.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sinw_atpg::collapse::collapse;
 use sinw_atpg::fault_list::enumerate_stuck_at;
 use sinw_atpg::faultsim::{
-    seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_serial,
-    simulate_faults_threaded, FaultSimReport,
+    configured_lanes, seeded_patterns, simulate_faults_full_pass, simulate_faults_lanes,
+    simulate_faults_serial, simulate_faults_threaded_static, simulate_faults_threaded_stats,
+    FaultSimReport, SUPPORTED_LANES,
 };
-use sinw_bench::{env_usize, write_bench_json};
+use sinw_bench::{env_usize, env_usize_list, write_bench_json};
 use sinw_switch::generate::array_multiplier;
 use std::time::{Duration, Instant};
 
-struct EngineRow {
-    name: &'static str,
+/// One measured point of the curve.
+struct Row {
+    engine: &'static str,
+    lanes: usize,
+    threads: usize,
     wall: Duration,
+    steals: Option<usize>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn write_json(
-    width: usize,
-    cells: usize,
-    pis: usize,
-    pos: usize,
-    universe: usize,
-    collapsed: usize,
-    patterns: usize,
-    threads: usize,
-    engines: &[EngineRow],
-    event_speedup: f64,
-) {
-    let base = engines[0].wall.as_secs_f64();
-    let rows: Vec<String> = engines
-        .iter()
-        .map(|e| {
-            format!(
-                "    {{\"engine\": \"{}\", \"wall_ms\": {:.3}, \"speedup_vs_serial\": {:.3}}}",
-                e.name,
-                e.wall.as_secs_f64() * 1e3,
-                base / e.wall.as_secs_f64().max(1e-12)
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"ppsfp_scaling\",\n  \"circuit\": {{\"name\": \"mul{width}\", \
-         \"width\": {width}, \"cells\": {cells}, \"inputs\": {pis}, \"outputs\": {pos}}},\n  \
-         \"faults\": {{\"universe\": {universe}, \"collapsed\": {collapsed}}},\n  \
-         \"patterns\": {patterns},\n  \"threads\": {threads},\n  \"engines\": [\n{}\n  ],\n  \
-         \"ablation\": {{\"baseline\": \"full_pass64\", \"contender\": \"event64\", \
-         \"speedup\": {event_speedup:.3}}}\n}}\n",
-        rows.join(",\n")
-    );
-    write_bench_json("BENCH_ppsfp.json", &json);
+impl Row {
+    fn json(&self) -> String {
+        let steals = self.steals.map_or(String::from("null"), |s| s.to_string());
+        format!(
+            "      {{\"engine\": \"{}\", \"lanes\": {}, \"threads\": {}, \
+             \"wall_ms\": {:.3}, \"steals\": {}}}",
+            self.engine,
+            self.lanes,
+            self.threads,
+            self.wall.as_secs_f64() * 1e3,
+            steals
+        )
+    }
+}
+
+/// Best-of-3 wall clock (damps scheduler noise so the in-bench
+/// assertions cannot flake on a descheduled smoke run).
+fn timed<R>(f: &dyn Fn() -> R) -> (R, Duration) {
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed());
+        result = Some(r);
+    }
+    (result.expect("three runs"), best)
+}
+
+fn speedup(base: Duration, new: Duration) -> f64 {
+    base.as_secs_f64() / new.as_secs_f64().max(1e-12)
 }
 
 fn bench(c: &mut Criterion) {
     let measuring = std::env::args().any(|a| a == "--bench");
-    let width = env_usize("SINW_PPSFP_WIDTH", if measuring { 32 } else { 4 });
-    let n_patterns = env_usize("SINW_PPSFP_PATTERNS", 16);
+    let widths = env_usize_list(
+        "SINW_PPSFP_WIDTHS",
+        if measuring { &[16, 32, 64] } else { &[4] },
+    );
+    let n_patterns = env_usize("SINW_PPSFP_PATTERNS", if measuring { 96 } else { 16 });
     let threads = env_usize("SINW_PPSFP_THREADS", 0);
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let eff_threads = if threads == 0 { cores } else { threads };
 
+    // Lane widths to measure: 1 and 4 always (the acceptance pair), plus
+    // whatever SINW_LANES asks for; the full {1,2,4,8} sweep when
+    // measuring.
+    let mut lane_set: Vec<usize> = if measuring {
+        SUPPORTED_LANES.to_vec()
+    } else {
+        vec![1, 4]
+    };
+    let configured = configured_lanes();
+    if !lane_set.contains(&configured) {
+        lane_set.push(configured);
+        lane_set.sort_unstable();
+    }
+    // Thread counts: single worker and the configured/auto count.
+    let mut thread_set = vec![1usize];
+    if eff_threads > 1 {
+        thread_set.push(eff_threads);
+    }
+
+    println!(
+        "\nPPSFP scaling curve: widths {widths:?}, lanes {lane_set:?}, \
+         threads {thread_set:?}, {n_patterns} patterns, {cores} hw threads"
+    );
+
+    let mut curve_blocks: Vec<String> = Vec::new();
+    let mut acceptance: Option<String> = None;
+    let max_width = widths.iter().copied().max().unwrap_or(0);
+
+    for &width in &widths {
+        let circuit = array_multiplier(width);
+        let faults = enumerate_stuck_at(&circuit);
+        let collapsed = collapse(&circuit, &faults);
+        let reps = &collapsed.representatives;
+        let patterns = seeded_patterns(
+            circuit.primary_inputs().len(),
+            n_patterns,
+            0x9E37_79B9_97F4_A7C1,
+        );
+        println!(
+            "  mul{width}: {} cells, {} faults ({} collapsed)",
+            circuit.gates().len(),
+            faults.len(),
+            reps.len()
+        );
+
+        let mut rows: Vec<Row> = Vec::new();
+        let mut reference: Option<FaultSimReport> = None;
+        let mut check = |name: &str, report: FaultSimReport| match &reference {
+            None => reference = Some(report),
+            Some(r) => assert_eq!(r, &report, "{name} diverges at width {width}"),
+        };
+
+        // Serial + full-pass baselines, gated by width (both are far off
+        // the event kernel and would dominate at c6288-class sizes).
+        let mut t_full: Option<Duration> = None;
+        if width <= 16 {
+            let (ser, t) = timed(&|| simulate_faults_serial(&circuit, reps, &patterns, false));
+            println!("    serial          {:>10.1} ms", t.as_secs_f64() * 1e3);
+            check("serial", ser);
+            rows.push(Row {
+                engine: "serial",
+                lanes: 1,
+                threads: 1,
+                wall: t,
+                steals: None,
+            });
+        }
+        if width <= 32 {
+            let (full, t) = timed(&|| simulate_faults_full_pass(&circuit, reps, &patterns, false));
+            println!("    full_pass64     {:>10.1} ms", t.as_secs_f64() * 1e3);
+            check("full_pass64", full);
+            rows.push(Row {
+                engine: "full_pass",
+                lanes: 1,
+                threads: 1,
+                wall: t,
+                steals: None,
+            });
+            t_full = Some(t);
+        }
+
+        // Event kernel across lane widths.
+        let mut t_event1: Option<Duration> = None;
+        for &lanes in &lane_set {
+            let (r, t) = timed(&|| simulate_faults_lanes(&circuit, reps, &patterns, false, lanes));
+            println!(
+                "    event  L={lanes}      {:>10.1} ms",
+                t.as_secs_f64() * 1e3
+            );
+            check("event", r);
+            rows.push(Row {
+                engine: "event",
+                lanes,
+                threads: 1,
+                wall: t,
+                steals: None,
+            });
+            if lanes == 1 {
+                t_event1 = Some(t);
+            }
+        }
+        if let (Some(tf), Some(te)) = (t_full, t_event1) {
+            let event_speedup = speedup(tf, te);
+            println!("    event64 is {event_speedup:.1}x the full-pass inner loop");
+            if measuring && width >= 32 {
+                assert!(
+                    event_speedup >= 5.0,
+                    "event-driven kernel must be >= 5x the full-pass baseline at \
+                     measuring widths, got {event_speedup:.2}x"
+                );
+            }
+        }
+
+        // Threaded engines: the old static partitioner (L = 1) as the
+        // ablation baseline, then work-stealing across lanes × threads.
+        let mut t_static: Option<Duration> = None;
+        let mut t_steal4: Option<Duration> = None;
+        for &t_count in &thread_set {
+            let (r, t) = timed(&|| {
+                simulate_faults_threaded_static(&circuit, reps, &patterns, false, t_count)
+            });
+            println!(
+                "    static L=1 T={t_count}  {:>10.1} ms",
+                t.as_secs_f64() * 1e3
+            );
+            check("threaded_static", r);
+            rows.push(Row {
+                engine: "threaded_static",
+                lanes: 1,
+                threads: t_count,
+                wall: t,
+                steals: None,
+            });
+            if t_count == *thread_set.last().expect("non-empty") {
+                t_static = Some(t);
+            }
+            for &lanes in &lane_set {
+                let ((r, stats), t) = timed(&|| {
+                    simulate_faults_threaded_stats(&circuit, reps, &patterns, false, t_count, lanes)
+                });
+                println!(
+                    "    steal  L={lanes} T={t_count}  {:>10.1} ms   ({} steals)",
+                    t.as_secs_f64() * 1e3,
+                    stats.steals
+                );
+                check("threaded_steal", r);
+                rows.push(Row {
+                    engine: "threaded_steal",
+                    lanes,
+                    threads: t_count,
+                    wall: t,
+                    steals: Some(stats.steals),
+                });
+                if lanes == 4 && t_count == *thread_set.last().expect("non-empty") {
+                    t_steal4 = Some(t);
+                }
+            }
+        }
+
+        // Acceptance: at the largest measuring width the L = 4
+        // work-stealing kernel must beat the L = 1 static-partition
+        // kernel at equal thread count.
+        if width == max_width {
+            if let (Some(ts), Some(t4)) = (t_static, t_steal4) {
+                let gain = speedup(ts, t4);
+                println!(
+                    "    L=4 stealing vs L=1 static at T={}: {gain:.2}x",
+                    thread_set.last().expect("non-empty")
+                );
+                if measuring && width >= 32 {
+                    assert!(
+                        t4 < ts,
+                        "L=4 work-stealing ({:.1} ms) must beat L=1 static \
+                         partitioning ({:.1} ms) at equal thread count",
+                        t4.as_secs_f64() * 1e3,
+                        ts.as_secs_f64() * 1e3
+                    );
+                }
+                acceptance = Some(format!(
+                    "  \"acceptance\": {{\"width\": {width}, \"threads\": {}, \
+                     \"l1_static_ms\": {:.3}, \"l4_steal_ms\": {:.3}, \
+                     \"speedup\": {gain:.3}, \"pass\": {}}},\n",
+                    thread_set.last().expect("non-empty"),
+                    ts.as_secs_f64() * 1e3,
+                    t4.as_secs_f64() * 1e3,
+                    t4 < ts
+                ));
+            }
+        }
+
+        let row_json: Vec<String> = rows.iter().map(Row::json).collect();
+        curve_blocks.push(format!(
+            "    {{\"circuit\": \"mul{width}\", \"width\": {width}, \"cells\": {}, \
+             \"universe\": {}, \"collapsed\": {}, \"patterns\": {}, \"rows\": [\n{}\n    ]}}",
+            circuit.gates().len(),
+            faults.len(),
+            reps.len(),
+            patterns.len(),
+            row_json.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"ppsfp_scaling\",\n  \"hw_threads\": {cores},\n  \
+         \"lanes\": {lane_set:?},\n  \"thread_counts\": {thread_set:?},\n{}  \
+         \"curve\": [\n{}\n  ]\n}}\n",
+        acceptance.unwrap_or_default(),
+        curve_blocks.join(",\n")
+    );
+    write_bench_json("BENCH_ppsfp.json", &json);
+
+    // Criterion statistics on the smallest width of the sweep.
+    let width = widths.iter().copied().min().unwrap_or(4);
     let circuit = array_multiplier(width);
     let faults = enumerate_stuck_at(&circuit);
     let collapsed = collapse(&circuit, &faults);
+    let reps = collapsed.representatives;
     let patterns = seeded_patterns(
         circuit.primary_inputs().len(),
         n_patterns,
         0x9E37_79B9_97F4_A7C1,
     );
-    println!(
-        "\nPPSFP scaling ablation: {width}x{width} array multiplier — {} cells, \
-         {} faults ({} collapsed), {} patterns, {} hw threads",
-        circuit.gates().len(),
-        faults.len(),
-        collapsed.representatives.len(),
-        patterns.len(),
-        cores
-    );
-
-    // Best-of-3 wall-clock comparison (the headline artifact; the
-    // criterion samples below add statistical weight). Taking the minimum
-    // damps scheduler noise so the in-bench assertions below cannot flake
-    // on a descheduled smoke run.
-    let reps = &collapsed.representatives;
-    let timed = |f: &dyn Fn() -> FaultSimReport| {
-        let mut best = Duration::MAX;
-        let mut result = None;
-        for _ in 0..3 {
-            let t0 = Instant::now();
-            let r = f();
-            best = best.min(t0.elapsed());
-            result = Some(r);
-        }
-        (result.expect("three runs"), best)
-    };
-    let (ser, t_serial) = timed(&|| simulate_faults_serial(&circuit, reps, &patterns, false));
-    let (full, t_full) = timed(&|| simulate_faults_full_pass(&circuit, reps, &patterns, false));
-    let (par, t_block) = timed(&|| simulate_faults(&circuit, reps, &patterns, false));
-    let (thr, t_thread) =
-        timed(&|| simulate_faults_threaded(&circuit, reps, &patterns, false, threads));
-    assert_eq!(ser, full, "full-pass engine must match serial");
-    assert_eq!(
-        ser, par,
-        "event-driven bit-parallel engine must match serial"
-    );
-    assert_eq!(ser, thr, "thread-parallel engine must match serial");
-    let speedup = |base: Duration, new: Duration| -> f64 {
-        base.as_secs_f64() / new.as_secs_f64().max(1e-12)
-    };
-    println!(
-        "  serial (event)  {:>10.1} ms   (baseline; detected {}/{})",
-        t_serial.as_secs_f64() * 1e3,
-        ser.detected.len(),
-        reps.len()
-    );
-    println!(
-        "  full-pass64     {:>10.1} ms   ({:.1}x vs serial; whole-circuit inner loop)",
-        t_full.as_secs_f64() * 1e3,
-        speedup(t_serial, t_full)
-    );
-    println!(
-        "  event64         {:>10.1} ms   ({:.1}x vs serial, {:.1}x vs full-pass)",
-        t_block.as_secs_f64() * 1e3,
-        speedup(t_serial, t_block),
-        speedup(t_full, t_block)
-    );
-    println!(
-        "  event-threaded  {:>10.1} ms   ({:.1}x vs serial, {:.2}x vs event64)",
-        t_thread.as_secs_f64() * 1e3,
-        speedup(t_serial, t_thread),
-        speedup(t_block, t_thread)
-    );
-    assert!(
-        t_thread < t_serial,
-        "thread-parallel PPSFP must beat the serial baseline"
-    );
-    let event_speedup = speedup(t_full, t_block);
-    if measuring && width >= 32 {
-        assert!(
-            event_speedup >= 5.0,
-            "event-driven kernel must be >= 5x the full-pass baseline at \
-             measuring widths, got {event_speedup:.2}x"
-        );
-    }
-
-    write_json(
-        width,
-        circuit.gates().len(),
-        circuit.primary_inputs().len(),
-        circuit.primary_outputs().len(),
-        faults.len(),
-        reps.len(),
-        patterns.len(),
-        threads,
-        &[
-            EngineRow {
-                name: "serial",
-                wall: t_serial,
-            },
-            EngineRow {
-                name: "full_pass64",
-                wall: t_full,
-            },
-            EngineRow {
-                name: "event64",
-                wall: t_block,
-            },
-            EngineRow {
-                name: "event_threaded",
-                wall: t_thread,
-            },
-        ],
-        event_speedup,
-    );
-
-    c.bench_function("ppsfp/serial", |b| {
-        b.iter(|| black_box(simulate_faults_serial(&circuit, reps, &patterns, false)));
+    c.bench_function("ppsfp/event_l1", |b| {
+        b.iter(|| black_box(simulate_faults_lanes(&circuit, &reps, &patterns, false, 1)));
     });
-    c.bench_function("ppsfp/full_pass64", |b| {
-        b.iter(|| black_box(simulate_faults_full_pass(&circuit, reps, &patterns, false)));
+    c.bench_function("ppsfp/event_l4", |b| {
+        b.iter(|| black_box(simulate_faults_lanes(&circuit, &reps, &patterns, false, 4)));
     });
-    c.bench_function("ppsfp/event64", |b| {
-        b.iter(|| black_box(simulate_faults(&circuit, reps, &patterns, false)));
-    });
-    c.bench_function("ppsfp/event_threaded", |b| {
+    c.bench_function("ppsfp/threaded_static", |b| {
         b.iter(|| {
-            black_box(simulate_faults_threaded(
-                &circuit, reps, &patterns, false, threads,
+            black_box(simulate_faults_threaded_static(
+                &circuit, &reps, &patterns, false, threads,
+            ))
+        });
+    });
+    c.bench_function("ppsfp/threaded_steal_l4", |b| {
+        b.iter(|| {
+            black_box(simulate_faults_threaded_stats(
+                &circuit, &reps, &patterns, false, threads, 4,
             ))
         });
     });

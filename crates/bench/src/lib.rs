@@ -8,9 +8,10 @@
 //! itself lives in [`sinw_core::experiments`] so that tests and benches
 //! report identical numbers.
 //!
-//! The library target hosts this crate-level documentation plus the two
+//! The library target hosts this crate-level documentation plus the
 //! knob/artifact helpers shared by the scaling benches ([`env_usize`],
-//! [`write_bench_json`]); the runnable artifacts are the bench targets:
+//! [`env_usize_list`], [`write_bench_json`]); the runnable artifacts are
+//! the bench targets:
 //!
 //! ```no_run
 //! // What `cargo bench --bench ppsfp_scaling` measures, in miniature:
@@ -35,6 +36,21 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Read a comma-separated `usize` list knob from the environment (e.g.
+/// `SINW_PPSFP_WIDTHS=16,32,64`), falling back to `default` when the
+/// variable is unset, empty, or any element fails to parse — the scaling
+/// benches use this to sweep a curve instead of a point.
+#[must_use]
+pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+    let parsed = std::env::var(key).ok().and_then(|v| {
+        v.split(',')
+            .map(|s| s.trim().parse().ok())
+            .collect::<Option<Vec<usize>>>()
+            .filter(|list| !list.is_empty())
+    });
+    parsed.unwrap_or_else(|| default.to_vec())
 }
 
 /// Write a machine-readable bench artifact to the `SINW_BENCH_JSON`

@@ -201,6 +201,17 @@ pub fn array_multiplier(width: usize) -> Circuit {
     c
 }
 
+/// The c6288-class scaling workload: a 64×64 [`array_multiplier`] —
+/// the same array-multiplier structure as ISCAS-85 c6288 (a 16×16
+/// array), scaled ×4 per side so the collapsed stuck-at universe clears
+/// 100k faults. This is the fixture the wide-word/work-stealing PPSFP
+/// benches and the golden scaling tests run on; the cell and fault
+/// counts are pinned in `crates/atpg/tests/c6288_class.rs`.
+#[must_use]
+pub fn c6288_class() -> Circuit {
+    array_multiplier(64)
+}
+
 /// The named generated workloads the fault-coverage experiments run over.
 /// `fast` selects reduced widths for test runs.
 #[must_use]
