@@ -202,6 +202,90 @@ impl FaultDictionary {
         }
     }
 
+    /// Rebuild a dictionary from its raw serialized parts — the inverse
+    /// of walking [`class_signature`] and [`class_of`], used by
+    /// `sinw-server` `.sinw` snapshot decoding so a restored dictionary
+    /// is bit-identical to the one that was saved.
+    ///
+    /// `class_sigs` holds the per-class signature rows back to back
+    /// (`classes * ceil(n_patterns * n_outputs / 64)` words); `class_of`
+    /// maps every fault to its class. The invariants
+    /// [`from_signatures`] guarantees are re-validated: class indices
+    /// dense in `0..classes`, classes ordered by first member, every
+    /// class non-empty.
+    ///
+    /// [`class_signature`]: FaultDictionary::class_signature
+    /// [`class_of`]: FaultDictionary::class_of
+    /// [`from_signatures`]: FaultDictionary::from_signatures
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant when the parts
+    /// are inconsistent.
+    pub fn from_raw_parts(
+        n_patterns: usize,
+        n_outputs: usize,
+        class_sigs: Vec<u64>,
+        class_of: Vec<usize>,
+    ) -> Result<Self, String> {
+        let payload_bits = n_patterns
+            .checked_mul(n_outputs)
+            .ok_or_else(|| String::from("pattern x output bit count overflows"))?;
+        let words_per_row = payload_bits.div_ceil(64);
+        let n_classes = if words_per_row == 0 {
+            // Degenerate zero-width signatures: every fault shares the
+            // one empty class (matching `from_signatures` on an empty
+            // pattern set), so the class count comes from `class_of`.
+            if !class_sigs.is_empty() {
+                return Err(String::from(
+                    "zero-width signatures cannot carry signature words",
+                ));
+            }
+            usize::from(!class_of.is_empty())
+        } else {
+            if class_sigs.len() % words_per_row != 0 {
+                return Err(format!(
+                    "class signature words ({}) not a multiple of the {words_per_row}-word row",
+                    class_sigs.len()
+                ));
+            }
+            class_sigs.len() / words_per_row
+        };
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+        let mut next_fresh = 0usize;
+        for (fi, &class) in class_of.iter().enumerate() {
+            if class >= n_classes {
+                return Err(format!(
+                    "fault {fi} maps to class {class}, but only {n_classes} classes exist"
+                ));
+            }
+            if class > next_fresh {
+                return Err(format!(
+                    "class {class} first appears before class {next_fresh} \
+                     (classes must be ordered by first member)"
+                ));
+            }
+            if class == next_fresh {
+                next_fresh += 1;
+            }
+            members[class].push(fi);
+        }
+        if next_fresh != n_classes {
+            return Err(format!(
+                "{n_classes} class signatures but only {next_fresh} classes referenced"
+            ));
+        }
+        Ok(FaultDictionary {
+            n_faults: class_of.len(),
+            n_patterns,
+            n_outputs,
+            words_per_row,
+            class_sigs,
+            members,
+            class_of,
+        })
+    }
+
     /// Number of faults modeled.
     #[must_use]
     pub fn fault_count(&self) -> usize {

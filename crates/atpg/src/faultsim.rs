@@ -892,11 +892,69 @@ fn sim_event<const L: usize>(
     patterns: &[Vec<bool>],
     drop_detected: bool,
 ) -> FaultSimReport {
+    let graph = SimGraph::build(circuit);
+    sim_event_with::<L>(circuit, &graph, faults, patterns, drop_detected)
+}
+
+fn sim_event_with<const L: usize>(
+    circuit: &Circuit,
+    graph: &SimGraph,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+) -> FaultSimReport {
     let block = PatternBlock::<L>::CAPACITY;
     let prepared = prepare::<L>(circuit, patterns, block);
-    let graph = SimGraph::build(circuit);
-    let firsts = first_detections_for(&graph, faults, &prepared, block, drop_detected);
+    let firsts = first_detections_for(graph, faults, &prepared, block, drop_detected);
     report_from(firsts, patterns.len())
+}
+
+/// [`simulate_faults`] against a caller-supplied [`SimGraph`] precompute,
+/// skipping the per-call graph build — the entry point of the
+/// `sinw-server` compiled-circuit registry, whose hot path must not
+/// rebuild anything the registry already caches. Reports bit-identically
+/// to [`simulate_faults`]. Runs at [`configured_lanes`].
+///
+/// `graph` must have been built from `circuit` (checked by debug
+/// assertion).
+#[must_use]
+pub fn simulate_faults_with_graph(
+    circuit: &Circuit,
+    graph: &SimGraph,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+) -> FaultSimReport {
+    simulate_faults_with_graph_lanes(
+        circuit,
+        graph,
+        faults,
+        patterns,
+        drop_detected,
+        configured_lanes(),
+    )
+}
+
+/// [`simulate_faults_with_graph`] at an explicit lane width.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+#[must_use]
+pub fn simulate_faults_with_graph_lanes(
+    circuit: &Circuit,
+    graph: &SimGraph,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    lanes: usize,
+) -> FaultSimReport {
+    debug_assert_eq!(graph.signal_count(), circuit.signal_count());
+    debug_assert_eq!(graph.gate_count(), circuit.gates().len());
+    dispatch_lanes!(
+        lanes,
+        sim_event_with(circuit, graph, faults, patterns, drop_detected)
+    )
 }
 
 /// 64-way bit-parallel fault simulation on the retained **full-pass**
@@ -1286,6 +1344,66 @@ impl SignatureMatrix {
     pub fn bytes(&self) -> usize {
         self.bits.len() * 8
     }
+
+    /// The raw row-major packed bits, `fault_count() * words_per_row()`
+    /// words — the serialization view `sinw-server` snapshots read.
+    #[must_use]
+    pub fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuild a matrix from its raw parts (the inverse of [`bits`]):
+    /// `bits` must hold exactly `n_faults * ceil(n_patterns * n_outputs /
+    /// 64)` row-major words, with no stray bit above `n_patterns *
+    /// n_outputs` in any row. Used by `.sinw` snapshot decoding and by
+    /// the job engine to merge per-chunk capture results in deterministic
+    /// chunk order.
+    ///
+    /// [`bits`]: SignatureMatrix::bits
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant when the word
+    /// count does not match the geometry or a row sets bits past the
+    /// `n_patterns * n_outputs` payload.
+    pub fn from_raw_parts(
+        n_faults: usize,
+        n_patterns: usize,
+        n_outputs: usize,
+        bits: Vec<u64>,
+    ) -> Result<Self, String> {
+        let payload_bits = n_patterns
+            .checked_mul(n_outputs)
+            .ok_or_else(|| String::from("pattern x output bit count overflows"))?;
+        let words_per_row = payload_bits.div_ceil(64);
+        let expected = n_faults
+            .checked_mul(words_per_row)
+            .ok_or_else(|| String::from("fault x word count overflows"))?;
+        if bits.len() != expected {
+            return Err(format!(
+                "signature matrix needs {expected} words ({n_faults} faults x \
+                 {words_per_row} words/row), got {}",
+                bits.len()
+            ));
+        }
+        if words_per_row > 0 && payload_bits % 64 != 0 {
+            let tail_mask = !0u64 << (payload_bits % 64);
+            for fi in 0..n_faults {
+                if bits[(fi + 1) * words_per_row - 1] & tail_mask != 0 {
+                    return Err(format!(
+                        "row {fi} sets bits past the {payload_bits}-bit payload"
+                    ));
+                }
+            }
+        }
+        Ok(SignatureMatrix {
+            n_faults,
+            n_patterns,
+            n_outputs,
+            words_per_row,
+            bits,
+        })
+    }
 }
 
 /// Capture rows for a contiguous chunk of faults into `out` (row-major,
@@ -1335,6 +1453,18 @@ fn capture_single<const L: usize>(
     patterns: &[Vec<bool>],
     block_size: usize,
 ) -> SignatureMatrix {
+    let graph = SimGraph::build(circuit);
+    capture_single_with::<L>(circuit, &graph, faults, patterns, block_size)
+}
+
+/// [`capture_single`] against a caller-supplied graph precompute.
+fn capture_single_with<const L: usize>(
+    circuit: &Circuit,
+    graph: &SimGraph,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    block_size: usize,
+) -> SignatureMatrix {
     let mut sig = SignatureMatrix::zeroed(
         faults.len(),
         patterns.len(),
@@ -1344,14 +1474,13 @@ fn capture_single<const L: usize>(
         return sig;
     }
     let prepared = prepare::<L>(circuit, patterns, block_size);
-    let graph = SimGraph::build(circuit);
     let words_per_row = sig.words_per_row;
     let n_outputs = sig.n_outputs;
     let mut scratch = FaultSimScratch::new();
-    scratch.ensure_graph(&graph);
+    scratch.ensure_graph(graph);
     let mut po_diff = vec![PatternWords::<L>::ZERO; n_outputs];
     capture_rows(
-        &graph,
+        graph,
         circuit.primary_outputs(),
         faults,
         &prepared,
@@ -1363,6 +1492,56 @@ fn capture_single<const L: usize>(
         &mut sig.bits,
     );
     sig
+}
+
+/// [`capture_signatures`] against a caller-supplied [`SimGraph`]
+/// precompute, skipping the per-call graph build — the signature-capture
+/// entry point of the `sinw-server` compiled-circuit registry. The matrix
+/// is bit-identical to [`capture_signatures`]. Runs at
+/// [`configured_lanes`].
+///
+/// `graph` must have been built from `circuit` (checked by debug
+/// assertion).
+#[must_use]
+pub fn capture_signatures_with_graph(
+    circuit: &Circuit,
+    graph: &SimGraph,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+) -> SignatureMatrix {
+    capture_signatures_with_graph_lanes(circuit, graph, faults, patterns, configured_lanes())
+}
+
+/// [`capture_signatures_with_graph`] at an explicit lane width.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+#[must_use]
+pub fn capture_signatures_with_graph_lanes(
+    circuit: &Circuit,
+    graph: &SimGraph,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+    lanes: usize,
+) -> SignatureMatrix {
+    debug_assert_eq!(graph.signal_count(), circuit.signal_count());
+    debug_assert_eq!(graph.gate_count(), circuit.gates().len());
+    fn go<const L: usize>(
+        circuit: &Circuit,
+        graph: &SimGraph,
+        faults: &[StuckAtFault],
+        patterns: &[Vec<bool>],
+    ) -> SignatureMatrix {
+        capture_single_with::<L>(
+            circuit,
+            graph,
+            faults,
+            patterns,
+            PatternBlock::<L>::CAPACITY,
+        )
+    }
+    dispatch_lanes!(lanes, go(circuit, graph, faults, patterns))
 }
 
 /// Thread-parallel capture engine at lane width `L`, on the same

@@ -63,7 +63,7 @@ pub mod lanes;
 pub mod podem;
 pub mod redundancy;
 pub mod sof;
-mod steal;
+pub mod steal;
 pub mod tpg;
 pub mod twin;
 
@@ -74,11 +74,13 @@ pub use diagnose::{
 pub use fault_list::{enumerate_stuck_at, FaultSite, StuckAtFault};
 pub use faultsim::{
     capture_signatures, capture_signatures_lanes, capture_signatures_serial,
-    capture_signatures_threaded, capture_signatures_threaded_stats, configured_lanes,
-    seeded_patterns, simulate_faults, simulate_faults_full_pass, simulate_faults_lanes,
-    simulate_faults_serial, simulate_faults_threaded, simulate_faults_threaded_lanes,
-    simulate_faults_threaded_static, simulate_faults_threaded_stats, FaultSimReport,
-    FaultSimScratch, PackError, PatternBlock, SignatureMatrix, StealStats, SUPPORTED_LANES,
+    capture_signatures_threaded, capture_signatures_threaded_stats, capture_signatures_with_graph,
+    capture_signatures_with_graph_lanes, configured_lanes, seeded_patterns, simulate_faults,
+    simulate_faults_full_pass, simulate_faults_lanes, simulate_faults_serial,
+    simulate_faults_threaded, simulate_faults_threaded_lanes, simulate_faults_threaded_static,
+    simulate_faults_threaded_stats, simulate_faults_with_graph, simulate_faults_with_graph_lanes,
+    FaultSimReport, FaultSimScratch, PackError, PatternBlock, SignatureMatrix, StealStats,
+    SUPPORTED_LANES,
 };
 pub use graph::SimGraph;
 pub use lanes::PatternWords;
@@ -87,4 +89,5 @@ pub use podem::{
 };
 pub use redundancy::RedundancyProver;
 pub use sof::{cell_sof_tests, generate_sof_test, CircuitTwoPattern, SofResult, TwoPattern};
+pub use steal::WorkQueue;
 pub use tpg::{merge_cubes, AtpgConfig, AtpgEngine, AtpgReport, FaultStatus};

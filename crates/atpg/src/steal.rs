@@ -42,9 +42,13 @@ const fn unpack(v: u64) -> (u32, u32) {
 
 /// A chunked work-stealing queue over `n_items` items.
 ///
-/// Crate-internal: the engines expose its effect through
-/// [`crate::faultsim::StealStats`].
-pub(crate) struct WorkQueue {
+/// The fault-sim engines expose its effect through
+/// [`crate::faultsim::StealStats`]; `sinw-server` reuses it directly to
+/// deal job chunks (fault-sim rows, signature rows) across the worker
+/// threads of its bounded job engine with the same determinism argument:
+/// chunk boundaries are a pure function of the input, so merged output
+/// is independent of which worker claims which chunk.
+pub struct WorkQueue {
     chunk_size: usize,
     n_items: usize,
     n_chunks: usize,

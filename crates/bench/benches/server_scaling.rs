@@ -1,0 +1,209 @@
+//! Service-layer scaling curve: registry cold compile vs warm hit,
+//! `.sinw` snapshot encode/decode/restore, and job-engine dispatch
+//! overhead, across array-multiplier widths up to the c6288-class
+//! fixture.
+//!
+//! Per width the run measures: the cold registration (parse-free
+//! `register_circuit` path: canonical hash + enumerate + collapse +
+//! `SimGraph` build), the warm registration (canonical hash + map
+//! lookup — the whole compile pipeline skipped), the snapshot round
+//! trip, and one fault-sim job through the bounded engine against the
+//! direct serial engine call (asserted bit-identical).
+//!
+//! Knobs (environment variables):
+//!
+//! * `SINW_SERVER_WIDTHS` — comma-separated multiplier operand widths
+//!   (default `16,32,64` measuring, `4` smoke; 32 — the `mul32`
+//!   acceptance fixture — is always folded in when measuring);
+//! * `SINW_SERVER_PATTERNS` — pattern count for the job-identity check
+//!   (default 64 measuring, 16 smoke);
+//! * `SINW_BENCH_JSON` — where to write the machine-readable results
+//!   (default `BENCH_server.json` in the working directory).
+//!
+//! The run writes `BENCH_server.json` with one row per width plus an
+//! `acceptance` object: at width 32 the warm hit must be **≥ 10×**
+//! faster than the cold compile (measuring runs only — smoke runs keep
+//! the assertion disarmed but still record the ratio).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sinw_atpg::faultsim::{seeded_patterns, simulate_faults};
+use sinw_bench::{env_usize, env_usize_list, write_bench_json};
+use sinw_server::jobs::{JobEngine, JobOutcome, JobSpec};
+use sinw_server::registry::CircuitRegistry;
+use sinw_server::snapshot::Snapshot;
+use sinw_switch::generate::array_multiplier;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Best-of-3 wall clock (same damping as the other scaling benches).
+fn timed<R>(f: &dyn Fn() -> R) -> (R, Duration) {
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed());
+        result = Some(r);
+    }
+    (result.expect("three runs"), best)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn bench(c: &mut Criterion) {
+    let measuring = std::env::args().any(|a| a == "--bench");
+    let mut widths = env_usize_list(
+        "SINW_SERVER_WIDTHS",
+        if measuring { &[16, 32, 64] } else { &[4] },
+    );
+    if measuring && !widths.contains(&32) {
+        // mul32 anchors the acceptance ratio; keep it in the sweep.
+        widths.push(32);
+        widths.sort_unstable();
+    }
+    let n_patterns = env_usize("SINW_SERVER_PATTERNS", if measuring { 64 } else { 16 });
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!(
+        "\nService-layer scaling: widths {widths:?}, {n_patterns} patterns, {cores} hw threads"
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut acceptance: Option<String> = None;
+
+    for &width in &widths {
+        let name = format!("mul{width}");
+        let circuit = array_multiplier(width);
+
+        // Cold compile: a fresh registry per repetition so every run
+        // actually compiles (best-of-3 like every other bench).
+        let (artifact, t_cold) = timed(&|| {
+            let registry = CircuitRegistry::new();
+            registry.register_circuit(&name, circuit.clone())
+        });
+
+        // Warm hit: one registry, pre-warmed; the measured closure does
+        // hash + lookup only. The compile counter pins the contract.
+        let registry = CircuitRegistry::new();
+        let warm = registry.register_circuit(&name, circuit.clone());
+        let (hit, t_hit) = timed(&|| registry.register_circuit(&name, circuit.clone()));
+        assert!(Arc::ptr_eq(&warm, &hit), "hit must share the warm Arc");
+        assert_eq!(
+            registry.stats().compiles,
+            1,
+            "{name}: warm registrations must not recompile"
+        );
+
+        // Snapshot round trip.
+        let (bytes, t_encode) = timed(&|| artifact.snapshot().encode());
+        let (decoded, t_decode) = timed(&|| Snapshot::decode(&bytes).expect("own snapshot"));
+        let snap_bytes = bytes.len();
+        drop(decoded);
+
+        // Job engine vs direct serial call, asserted bit-identical.
+        let patterns = Arc::new(seeded_patterns(
+            circuit.primary_inputs().len(),
+            n_patterns,
+            0x9E37_79B9_97F4_A7C1,
+        ));
+        let reference = simulate_faults(
+            &circuit,
+            &artifact.collapsed().representatives,
+            &patterns,
+            true,
+        );
+        let compiled = registry.register_circuit(&name, circuit.clone());
+        let engine = JobEngine::new(2);
+        let (job_ok, t_job) = timed(&|| {
+            let handle = engine.submit(JobSpec::FaultSim {
+                compiled: Arc::clone(&compiled),
+                patterns: Arc::clone(&patterns),
+                drop_detected: true,
+                threads: 2,
+            });
+            matches!(handle.wait(), JobOutcome::FaultSim(r) if r == reference)
+        });
+        assert!(
+            job_ok,
+            "{name}: job result must equal the direct serial call"
+        );
+        engine.shutdown();
+
+        let ratio = ms(t_cold) / ms(t_hit).max(1e-9);
+        println!(
+            "  {name}: cold {:>9.3} ms   hit {:>8.4} ms ({ratio:>6.0}x)   \
+             snap {:>6.1} KiB enc {:>6.3} ms dec {:>6.3} ms   job {:>8.2} ms",
+            ms(t_cold),
+            ms(t_hit),
+            snap_bytes as f64 / 1024.0,
+            ms(t_encode),
+            ms(t_decode),
+            ms(t_job)
+        );
+
+        if width == 32 {
+            if measuring {
+                assert!(
+                    ratio >= 10.0,
+                    "registry hit must be >= 10x faster than a cold compile \
+                     on mul32, got {ratio:.1}x"
+                );
+            }
+            acceptance = Some(format!(
+                "  \"acceptance\": {{\"circuit\": \"mul32\", \"cold_ms\": {:.3}, \
+                 \"hit_ms\": {:.4}, \"speedup\": {ratio:.1}, \"pass\": {}}},\n",
+                ms(t_cold),
+                ms(t_hit),
+                ratio >= 10.0
+            ));
+        }
+
+        rows.push(format!(
+            "    {{\"circuit\": \"{name}\", \"width\": {width}, \"cells\": {}, \
+             \"collapsed\": {}, \"cold_ms\": {:.3}, \"hit_ms\": {:.4}, \
+             \"speedup\": {ratio:.1}, \"snapshot_bytes\": {snap_bytes}, \
+             \"encode_ms\": {:.3}, \"decode_ms\": {:.3}, \"job_ms\": {:.3}}}",
+            circuit.gates().len(),
+            artifact.collapsed().representatives.len(),
+            ms(t_cold),
+            ms(t_hit),
+            ms(t_encode),
+            ms(t_decode),
+            ms(t_job)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"server_scaling\",\n  \"hw_threads\": {cores},\n  \
+         \"patterns\": {n_patterns},\n{}  \"curve\": [\n{}\n  ]\n}}\n",
+        acceptance.unwrap_or_default(),
+        rows.join(",\n")
+    );
+    write_bench_json("BENCH_server.json", &json);
+
+    // Criterion statistics on the smallest width of the sweep.
+    let width = widths.iter().copied().min().unwrap_or(4);
+    let circuit = array_multiplier(width);
+    let registry = CircuitRegistry::new();
+    let _warm = registry.register_circuit("crit", circuit.clone());
+    c.bench_function("server/registry_hit", |b| {
+        b.iter(|| black_box(registry.register_circuit("crit", circuit.clone())));
+    });
+    let artifact = registry.register_circuit("crit", circuit.clone());
+    c.bench_function("server/snapshot_encode", |b| {
+        b.iter(|| black_box(artifact.snapshot().encode()));
+    });
+    let bytes = artifact.snapshot().encode();
+    c.bench_function("server/snapshot_decode", |b| {
+        b.iter(|| black_box(Snapshot::decode(&bytes).expect("own snapshot")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -241,6 +241,14 @@ impl Experiments {
         diagnosis(self.fast)
     }
 
+    /// Service-layer run: registry hit vs cold compile, `.sinw`
+    /// snapshot round trips, and the job-engine identity check.
+    /// Delegates to [`service`] with this context's fidelity.
+    #[must_use]
+    pub fn service(&self) -> ServiceResult {
+        service(self.fast)
+    }
+
     // ------------------------------------------------------------------
     // Table I — process steps and defect census
     // ------------------------------------------------------------------
@@ -819,29 +827,34 @@ pub fn benchmark_suite(fast: bool) -> Vec<(String, &'static str, sinw_switch::ga
     suite
 }
 
-/// End-to-end stuck-at coverage over [`benchmark_suite`]: enumerate the
-/// fault universe, collapse it, run thread-parallel PPSFP (auto worker
-/// count, event-driven fanout-cone kernel over a levelized `SimGraph`)
-/// with fault dropping, and report per-benchmark coverage plus the
-/// simulation wall time.
+/// End-to-end stuck-at coverage over [`benchmark_suite`]: compile each
+/// circuit through the service layer's single compile path
+/// ([`sinw_server::registry::compile_circuit`]: enumerate + collapse +
+/// `SimGraph` build), run thread-parallel PPSFP (auto worker count,
+/// event-driven fanout-cone kernel) with fault dropping, and report
+/// per-benchmark coverage plus the simulation wall time.
 ///
 /// `fast` shrinks the generated circuits and the random-pattern budget
 /// for test runs.
 #[must_use]
 pub fn fault_coverage(fast: bool) -> FaultCoverageResult {
-    use sinw_atpg::collapse::collapse;
-    use sinw_atpg::fault_list::enumerate_stuck_at;
     use sinw_atpg::faultsim::simulate_faults_threaded;
+    use sinw_server::registry::compile_circuit;
 
     let rows = benchmark_suite(fast)
         .into_iter()
         .map(|(name, source, circuit)| {
-            let faults = enumerate_stuck_at(&circuit);
-            let collapsed = collapse(&circuit, &faults);
-            let (patterns, exhaustive) = benchmark_patterns(&circuit, &name, fast);
+            let compiled = compile_circuit(&name, circuit);
+            let circuit = compiled.circuit();
+            let (patterns, exhaustive) = benchmark_patterns(circuit, &name, fast);
             let t0 = std::time::Instant::now();
-            let report =
-                simulate_faults_threaded(&circuit, &collapsed.representatives, &patterns, true, 0);
+            let report = simulate_faults_threaded(
+                circuit,
+                &compiled.collapsed().representatives,
+                &patterns,
+                true,
+                0,
+            );
             let sim_ms = t0.elapsed().as_secs_f64() * 1e3;
             let effective_test_length = report
                 .first_detections
@@ -854,8 +867,8 @@ pub fn fault_coverage(fast: bool) -> FaultCoverageResult {
                 inputs: circuit.primary_inputs().len(),
                 outputs: circuit.primary_outputs().len(),
                 cells: circuit.gates().len(),
-                faults: faults.len(),
-                collapsed: collapsed.representatives.len(),
+                faults: compiled.faults().len(),
+                collapsed: compiled.collapsed().representatives.len(),
                 patterns: patterns.len(),
                 exhaustive,
                 detected: report.detected.len(),
@@ -963,15 +976,14 @@ impl fmt::Display for AtpgCampaignResult {
 /// phase for test runs.
 #[must_use]
 pub fn atpg_campaign(fast: bool) -> AtpgCampaignResult {
-    use sinw_atpg::collapse::collapse;
-    use sinw_atpg::fault_list::enumerate_stuck_at;
     use sinw_atpg::tpg::{AtpgConfig, AtpgEngine};
+    use sinw_server::registry::compile_circuit;
 
     let rows = benchmark_suite(fast)
         .into_iter()
         .map(|(name, source, circuit)| {
-            let faults = enumerate_stuck_at(&circuit);
-            let collapsed = collapse(&circuit, &faults);
+            let compiled = compile_circuit(&name, circuit);
+            let circuit = compiled.circuit();
             let seed = 0x7E57_5E7_u64
                 ^ name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
                     (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
@@ -981,15 +993,15 @@ pub fn atpg_campaign(fast: bool) -> AtpgCampaignResult {
                 max_random_blocks: if fast { 16 } else { 64 },
                 ..AtpgConfig::default()
             };
-            let engine = AtpgEngine::new(&circuit, config);
-            let report = engine.run(&collapsed.representatives);
+            let engine = AtpgEngine::new(circuit, config);
+            let report = engine.run(&compiled.collapsed().representatives);
             AtpgCampaignRow {
                 name,
                 source,
                 inputs: circuit.primary_inputs().len(),
                 cells: circuit.gates().len(),
-                faults: faults.len(),
-                collapsed: collapsed.representatives.len(),
+                faults: compiled.faults().len(),
+                collapsed: compiled.collapsed().representatives.len(),
                 report,
             }
         })
@@ -1118,14 +1130,15 @@ impl fmt::Display for DiagnosisResult {
 #[must_use]
 pub fn diagnosis(fast: bool) -> DiagnosisResult {
     use sinw_atpg::diagnose::{full_pass_observations, FaultDictionary};
-    use sinw_atpg::fault_list::enumerate_stuck_at;
     use sinw_atpg::tpg::{AtpgConfig, AtpgEngine};
+    use sinw_server::registry::compile_circuit;
 
     let rows = benchmark_suite(fast)
         .into_iter()
         .map(|(name, source, circuit)| {
-            let faults = enumerate_stuck_at(&circuit);
-            let collapsed = sinw_atpg::collapse::collapse(&circuit, &faults);
+            let compiled = compile_circuit(&name, circuit);
+            let circuit = compiled.circuit();
+            let faults = compiled.faults();
             let seed = 0xD1A6_05E5_u64
                 ^ name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
                     (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
@@ -1135,14 +1148,14 @@ pub fn diagnosis(fast: bool) -> DiagnosisResult {
                 max_random_blocks: if fast { 16 } else { 64 },
                 ..AtpgConfig::default()
             };
-            let engine = AtpgEngine::new(&circuit, config);
-            let patterns = engine.run(&collapsed.representatives).patterns;
+            let engine = AtpgEngine::new(circuit, config);
+            let patterns = engine.run(&compiled.collapsed().representatives).patterns;
 
             let t0 = std::time::Instant::now();
-            let serial = FaultDictionary::build_serial(&circuit, &faults, &patterns);
+            let serial = FaultDictionary::build_serial(circuit, faults, &patterns);
             let build_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t1 = std::time::Instant::now();
-            let dict = FaultDictionary::build_threaded(&circuit, &faults, &patterns, 0);
+            let dict = FaultDictionary::build_threaded(circuit, faults, &patterns, 0);
             let build_threaded_ms = t1.elapsed().as_secs_f64() * 1e3;
             debug_assert_eq!(serial.class_of(), dict.class_of());
 
@@ -1152,7 +1165,7 @@ pub fn diagnosis(fast: bool) -> DiagnosisResult {
             let mut probes = 0usize;
             let mut probes_ranked_first = 0usize;
             for fi in (0..faults.len()).step_by(stride) {
-                let obs = full_pass_observations(&circuit, faults[fi], &patterns);
+                let obs = full_pass_observations(circuit, faults[fi], &patterns);
                 let report = dict.diagnose(&obs);
                 probes += 1;
                 if report.best().map(|c| c.class) == Some(dict.class_of()[fi]) {
@@ -1176,6 +1189,239 @@ pub fn diagnosis(fast: bool) -> DiagnosisResult {
         })
         .collect();
     DiagnosisResult { rows }
+}
+
+// ----------------------------------------------------------------------
+// Service layer (registry hit vs cold compile, snapshots, job engine)
+// ----------------------------------------------------------------------
+
+/// One circuit's trip through the service layer: cold registry compile,
+/// warm registry hit, and the `.sinw` snapshot round trip.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Circuit name (`csa16`, `mul32`, `c6288-class`, …).
+    pub name: String,
+    /// Cell instances after mapping onto the CP library.
+    pub cells: usize,
+    /// Collapsed representatives in the compiled artifact.
+    pub collapsed: usize,
+    /// Wall time of the cold registration (parse/build + enumerate +
+    /// collapse + `SimGraph`), ms.
+    pub cold_compile_ms: f64,
+    /// Wall time of the warm registration (key hash + map lookup —
+    /// parse, mapping, collapse, and graph build all skipped), ms.
+    pub hit_ms: f64,
+    /// Encoded `.sinw` snapshot size, bytes.
+    pub snapshot_bytes: usize,
+    /// Wall time of snapshot encode, ms.
+    pub encode_ms: f64,
+    /// Wall time of snapshot decode (validation included), ms.
+    pub decode_ms: f64,
+    /// Wall time of rebuilding a servable artifact from the decoded
+    /// snapshot (reuses the stored universe + collapse; rebuilds only
+    /// the graph), ms.
+    pub restore_ms: f64,
+}
+
+/// Result of [`service`]: per-circuit rows, the registry's final
+/// counters, and the job-engine identity check.
+#[derive(Debug, Clone)]
+pub struct ServiceResult {
+    /// Per-circuit rows.
+    pub rows: Vec<ServiceRow>,
+    /// Registry counters after the run: `compiles` equals the row count
+    /// (one per distinct circuit), never more — the observable form of
+    /// "a hit compiles nothing".
+    pub stats: sinw_server::registry::RegistryStats,
+    /// Whether a fault-sim job through the bounded engine reproduced the
+    /// direct serial engine call bit for bit.
+    pub jobs_bit_identical: bool,
+}
+
+impl ServiceResult {
+    /// Row lookup by circuit name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&ServiceRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Smallest cold-compile / hit speedup across the rows.
+    #[must_use]
+    pub fn worst_speedup(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.cold_compile_ms / r.hit_ms.max(1e-6))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for ServiceResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Service layer (compiled-circuit registry + .sinw snapshots + job engine)"
+        )?;
+        writeln!(
+            f,
+            "  circuit       cells  collapsed  cold(ms)   hit(ms)  speedup  snap(KiB)  enc(ms)  dec(ms)  restore(ms)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:12} {:>6}  {:>9}  {:>8.3}  {:>8.4}  {:>6.0}x  {:>9.1}  {:>7.3}  {:>7.3}  {:>11.3}",
+                r.name,
+                r.cells,
+                r.collapsed,
+                r.cold_compile_ms,
+                r.hit_ms,
+                r.cold_compile_ms / r.hit_ms.max(1e-6),
+                r.snapshot_bytes as f64 / 1024.0,
+                r.encode_ms,
+                r.decode_ms,
+                r.restore_ms
+            )?;
+        }
+        writeln!(
+            f,
+            "  registry: {} compiles / {} hits / {} misses over {} entries; job engine bit-identical: {}",
+            self.stats.compiles,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.entries,
+            if self.jobs_bit_identical { "yes" } else { "NO" }
+        )?;
+        Ok(())
+    }
+}
+
+/// The service-layer experiment: register each circuit cold, re-register
+/// it warm (the hit must skip parse, mapping, collapse, and graph build
+/// — asserted through the registry's compile counter), round-trip the
+/// compiled artifact through the `.sinw` snapshot format, and push one
+/// fault-sim job through the bounded engine to confirm bit-identity with
+/// the direct serial call.
+///
+/// Full mode measures `csa16`, `mul32`, and the `c6288`-class 64-bit
+/// multiplier; `fast` substitutes `mul8` for the two big multipliers.
+///
+/// # Panics
+///
+/// Panics if the registry's compile counter shows a hit recompiled, or
+/// if a snapshot fails to round-trip — both are contract violations, not
+/// measurement noise.
+#[must_use]
+pub fn service(fast: bool) -> ServiceResult {
+    use sinw_atpg::faultsim::{seeded_patterns, simulate_faults};
+    use sinw_server::jobs::{JobEngine, JobOutcome, JobSpec};
+    use sinw_server::registry::{CircuitRegistry, CompiledCircuit};
+    use sinw_server::snapshot::Snapshot;
+    use sinw_switch::generate::{array_multiplier, c6288_class};
+
+    enum Source {
+        Bench(&'static str),
+        Built(sinw_switch::gate::Circuit),
+    }
+
+    let mut suite: Vec<(String, Source)> = vec![(
+        String::from("csa16"),
+        Source::Bench(sinw_switch::iscas::CSA16_BENCH),
+    )];
+    if fast {
+        suite.push((String::from("mul8"), Source::Built(array_multiplier(8))));
+    } else {
+        suite.push((String::from("mul32"), Source::Built(array_multiplier(32))));
+        suite.push((String::from("c6288-class"), Source::Built(c6288_class())));
+    }
+
+    let registry = CircuitRegistry::new();
+    let mut rows = Vec::new();
+    let mut first_artifact = None;
+    for (name, source) in suite {
+        let t0 = std::time::Instant::now();
+        let cold = match &source {
+            Source::Bench(text) => registry
+                .register_bench(&name, text)
+                .unwrap_or_else(|e| panic!("{name} must parse: {e}")),
+            Source::Built(circuit) => registry.register_circuit(&name, circuit.clone()),
+        };
+        let cold_compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let compiles_before_hit = registry.stats().compiles;
+
+        let t1 = std::time::Instant::now();
+        let hit = match &source {
+            Source::Bench(text) => registry
+                .register_bench(&name, text)
+                .expect("already parsed once"),
+            Source::Built(circuit) => registry.register_circuit(&name, circuit.clone()),
+        };
+        let hit_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            std::sync::Arc::ptr_eq(&cold, &hit),
+            "{name}: warm registration must return the cold Arc"
+        );
+        assert_eq!(
+            registry.stats().compiles,
+            compiles_before_hit,
+            "{name}: the hit path must not compile"
+        );
+
+        let t2 = std::time::Instant::now();
+        let bytes = cold.snapshot().encode();
+        let encode_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let t3 = std::time::Instant::now();
+        let decoded = Snapshot::decode(&bytes).expect("own snapshot decodes");
+        let decode_ms = t3.elapsed().as_secs_f64() * 1e3;
+        let t4 = std::time::Instant::now();
+        let restored = CompiledCircuit::from_snapshot(decoded);
+        let restore_ms = t4.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            restored.collapsed().representatives,
+            cold.collapsed().representatives,
+            "{name}: snapshot round trip must preserve the collapsed universe"
+        );
+
+        rows.push(ServiceRow {
+            name,
+            cells: cold.circuit().gates().len(),
+            collapsed: cold.collapsed().representatives.len(),
+            cold_compile_ms,
+            hit_ms,
+            snapshot_bytes: bytes.len(),
+            encode_ms,
+            decode_ms,
+            restore_ms,
+        });
+        first_artifact.get_or_insert(cold);
+    }
+
+    // Job-engine identity check on the first (cheapest) artifact.
+    let compiled = first_artifact.expect("suite is non-empty");
+    let patterns = std::sync::Arc::new(seeded_patterns(
+        compiled.circuit().primary_inputs().len(),
+        if fast { 48 } else { 192 },
+        0x5EED_0B1A,
+    ));
+    let reference = simulate_faults(
+        compiled.circuit(),
+        &compiled.collapsed().representatives,
+        &patterns,
+        true,
+    );
+    let engine = JobEngine::new(2);
+    let handle = engine.submit(JobSpec::FaultSim {
+        compiled,
+        patterns,
+        drop_detected: true,
+        threads: 2,
+    });
+    let jobs_bit_identical = matches!(handle.wait(), JobOutcome::FaultSim(r) if r == reference);
+    engine.shutdown();
+
+    ServiceResult {
+        rows,
+        stats: registry.stats(),
+        jobs_bit_identical,
+    }
 }
 
 /// Render the XOR2 dictionary in the paper's Table III layout.

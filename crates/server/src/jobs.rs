@@ -1,0 +1,665 @@
+//! The bounded job engine: a fixed worker pool multiplexing concurrent
+//! ATPG-stack requests over shared compiled artifacts.
+//!
+//! A [`JobEngine`] owns `workers` OS threads and a FIFO queue of
+//! [`JobSpec`]s. [`JobEngine::submit`] is non-blocking and returns a
+//! [`JobHandle`] carrying per-job progress, cooperative cancellation,
+//! and a blocking [`JobHandle::wait`]. [`JobEngine::shutdown`] (and
+//! `Drop`) performs a **graceful drain**: no new submissions are
+//! accepted, every job already queued still runs to completion, and the
+//! worker threads are joined.
+//!
+//! ## Determinism
+//!
+//! Heavy jobs (fault simulation, signature capture) fan out internally
+//! over the same work-stealing chunk queue
+//! ([`sinw_atpg::steal::WorkQueue`]) as the PPSFP engines. The chunk
+//! boundaries are a pure function of the fault-list length, each chunk
+//! is simulated independently (per-fault detection and first-detection
+//! credit do not depend on any other fault in the list), and the merge
+//! walks chunks in index order — so a job's outcome is **bit-identical**
+//! to the direct serial engine call on the whole fault list, no matter
+//! how many threads ran it or how chunks migrated between them.
+//!
+//! ## Cancellation and progress
+//!
+//! Progress is counted in chunks ([`JobProgress`]). The cancel flag is
+//! checked before every chunk claim; a cancelled job stops at the next
+//! chunk boundary and resolves to [`JobOutcome::Cancelled`]. Campaign
+//! and diagnosis jobs are single-chunk (the campaign engine owns its own
+//! internal loop), so for them cancellation is only effective while the
+//! job is still queued.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use sinw_atpg::diagnose::{DiagnosisReport, FaultDictionary};
+use sinw_atpg::faultsim::{
+    capture_signatures_with_graph, simulate_faults_with_graph, FaultSimReport, SignatureMatrix,
+};
+use sinw_atpg::steal::WorkQueue;
+use sinw_atpg::tpg::{AtpgConfig, AtpgEngine, AtpgReport};
+
+use crate::registry::CompiledCircuit;
+
+/// Fault-list chunk size for intra-job fan-out. Small enough that
+/// progress and cancellation have real granularity on the workspace's
+/// fixture circuits, large enough that per-chunk overhead is noise.
+const JOB_CHUNK: usize = 32;
+
+/// A unit of work for the engine. Compiled artifacts travel as
+/// [`Arc`]s, so a thousand queued jobs against the same circuit share
+/// one artifact.
+#[derive(Clone)]
+pub enum JobSpec {
+    /// PPSFP fault simulation of the compiled circuit's collapsed
+    /// representatives against a pattern set.
+    FaultSim {
+        /// The registry artifact to simulate.
+        compiled: Arc<CompiledCircuit>,
+        /// Patterns, one `bool` per primary input each.
+        patterns: Arc<Vec<Vec<bool>>>,
+        /// Drop faults after first detection.
+        drop_detected: bool,
+        /// Intra-job worker threads (clamped to ≥ 1).
+        threads: usize,
+    },
+    /// Full per-fault × per-pattern × per-output signature capture over
+    /// the collapsed representatives.
+    Signatures {
+        /// The registry artifact to capture against.
+        compiled: Arc<CompiledCircuit>,
+        /// Patterns, one `bool` per primary input each.
+        patterns: Arc<Vec<Vec<bool>>>,
+        /// Intra-job worker threads (clamped to ≥ 1).
+        threads: usize,
+    },
+    /// A full ATPG campaign (random + deterministic phases) over the
+    /// collapsed representatives.
+    Campaign {
+        /// The registry artifact to target.
+        compiled: Arc<CompiledCircuit>,
+        /// Campaign configuration (seed, phase limits, backtrack cap).
+        config: AtpgConfig,
+    },
+    /// Dictionary lookup of an observed failure set.
+    Diagnosis {
+        /// The class-compressed dictionary to match against.
+        dictionary: Arc<FaultDictionary>,
+        /// Observed failing `(pattern, output)` probes.
+        observations: Vec<(usize, usize)>,
+    },
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Fault-simulation result (indices into the representative list).
+    FaultSim(FaultSimReport),
+    /// Captured signature matrix over the representative list.
+    Signatures(SignatureMatrix),
+    /// Campaign report.
+    Campaign(AtpgReport),
+    /// Diagnosis report.
+    Diagnosis(DiagnosisReport),
+    /// The job was cancelled before it finished.
+    Cancelled,
+    /// The job could not run (invalid request); never a panic.
+    Failed(String),
+}
+
+/// Chunk-granularity progress of a running job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Chunks finished so far.
+    pub done: usize,
+    /// Total chunks (0 until the job is picked up and sized).
+    pub total: usize,
+}
+
+/// Shared state between a [`JobHandle`] and the worker running the job.
+struct JobShared {
+    done: AtomicUsize,
+    total: AtomicUsize,
+    cancel: AtomicBool,
+    outcome: Mutex<Option<JobOutcome>>,
+    finished: Condvar,
+}
+
+impl JobShared {
+    fn new() -> Self {
+        JobShared {
+            done: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            cancel: AtomicBool::new(false),
+            outcome: Mutex::new(None),
+            finished: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, outcome: JobOutcome) {
+        let mut slot = self.outcome.lock().expect("job outcome lock");
+        *slot = Some(outcome);
+        self.finished.notify_all();
+    }
+}
+
+/// The submitter's view of one job.
+#[derive(Clone)]
+pub struct JobHandle {
+    id: u64,
+    shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    /// Engine-unique job id, in submission order.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current chunk-granularity progress.
+    #[must_use]
+    pub fn progress(&self) -> JobProgress {
+        JobProgress {
+            done: self.shared.done.load(Ordering::SeqCst),
+            total: self.shared.total.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Request cooperative cancellation. Queued jobs resolve to
+    /// [`JobOutcome::Cancelled`] without running; running chunked jobs
+    /// stop at the next chunk boundary.
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the job has reached a terminal state.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.shared
+            .outcome
+            .lock()
+            .expect("job outcome lock")
+            .is_some()
+    }
+
+    /// Block until the job reaches a terminal state and return it.
+    #[must_use]
+    pub fn wait(&self) -> JobOutcome {
+        let mut slot = self.shared.outcome.lock().expect("job outcome lock");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self
+                .shared
+                .finished
+                .wait(slot)
+                .expect("job outcome condvar");
+        }
+    }
+}
+
+/// Queue state guarded by one mutex: the pending jobs and the drain
+/// flag. Storing `draining` *inside* the mutex (not a separate atomic)
+/// closes the lost-wakeup window between a worker's emptiness check and
+/// its condvar wait.
+struct QueueState {
+    jobs: VecDeque<(JobSpec, Arc<JobShared>)>,
+    draining: bool,
+}
+
+struct EngineQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+/// A bounded pool of worker threads draining a FIFO job queue.
+///
+/// See the [module docs](self) for the determinism, progress, and
+/// shutdown contracts.
+pub struct JobEngine {
+    queue: Arc<EngineQueue>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicUsize,
+}
+
+impl JobEngine {
+    /// Start an engine with `workers` pool threads (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let queue = Arc::new(EngineQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("sinw-job-{w}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn job worker")
+            })
+            .collect();
+        JobEngine {
+            queue,
+            workers: handles,
+            next_id: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of pool threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job (non-blocking) and return its handle.
+    ///
+    /// After [`JobEngine::shutdown`] has begun the engine accepts
+    /// nothing new: the job resolves immediately to
+    /// [`JobOutcome::Failed`] without entering the queue.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst) as u64;
+        let shared = Arc::new(JobShared::new());
+        let handle = JobHandle {
+            id,
+            shared: Arc::clone(&shared),
+        };
+        {
+            let mut state = self.queue.state.lock().expect("job queue lock");
+            if state.draining {
+                drop(state);
+                shared.finish(JobOutcome::Failed(String::from(
+                    "engine is draining; submission rejected",
+                )));
+                return handle;
+            }
+            state.jobs.push_back((spec, shared));
+        }
+        self.queue.ready.notify_one();
+        handle
+    }
+
+    /// Graceful drain: stop accepting submissions, run every queued job
+    /// to completion, and join the pool.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        {
+            let mut state = self.queue.state.lock().expect("job queue lock");
+            state.draining = true;
+        }
+        self.queue.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobEngine {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(queue: &EngineQueue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().expect("job queue lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.draining {
+                    break None;
+                }
+                state = queue.ready.wait(state).expect("job queue condvar");
+            }
+        };
+        match job {
+            Some((spec, shared)) => {
+                let outcome = if shared.cancel.load(Ordering::SeqCst) {
+                    JobOutcome::Cancelled
+                } else {
+                    run_job(spec, &shared)
+                };
+                shared.finish(outcome);
+            }
+            None => return,
+        }
+    }
+}
+
+fn run_job(spec: JobSpec, shared: &JobShared) -> JobOutcome {
+    match spec {
+        JobSpec::FaultSim {
+            compiled,
+            patterns,
+            drop_detected,
+            threads,
+        } => run_fault_sim(&compiled, &patterns, drop_detected, threads, shared),
+        JobSpec::Signatures {
+            compiled,
+            patterns,
+            threads,
+        } => run_signatures(&compiled, &patterns, threads, shared),
+        JobSpec::Campaign { compiled, config } => {
+            shared.total.store(1, Ordering::SeqCst);
+            let report = AtpgEngine::new(compiled.circuit(), config)
+                .run(&compiled.collapsed().representatives);
+            shared.done.store(1, Ordering::SeqCst);
+            JobOutcome::Campaign(report)
+        }
+        JobSpec::Diagnosis {
+            dictionary,
+            observations,
+        } => {
+            shared.total.store(1, Ordering::SeqCst);
+            for &(pattern, output) in &observations {
+                if pattern >= dictionary.pattern_count() || output >= dictionary.output_count() {
+                    return JobOutcome::Failed(format!(
+                        "observation ({pattern}, {output}) outside the dictionary's \
+                         {} x {} probe grid",
+                        dictionary.pattern_count(),
+                        dictionary.output_count()
+                    ));
+                }
+            }
+            let report = dictionary.diagnose(&observations);
+            shared.done.store(1, Ordering::SeqCst);
+            JobOutcome::Diagnosis(report)
+        }
+    }
+}
+
+/// Validate a pattern set against the compiled circuit before fan-out,
+/// so malformed requests fail typed instead of panicking inside a pool
+/// thread.
+fn check_patterns(compiled: &CompiledCircuit, patterns: &[Vec<bool>]) -> Result<(), JobOutcome> {
+    let n_pi = compiled.circuit().primary_inputs().len();
+    for (k, p) in patterns.iter().enumerate() {
+        if p.len() != n_pi {
+            return Err(JobOutcome::Failed(format!(
+                "pattern {k} has {} bits, circuit '{}' has {n_pi} primary inputs",
+                p.len(),
+                compiled.name()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Fan a fault-list computation out over `threads` scoped threads
+/// claiming [`JOB_CHUNK`]-sized chunks from a [`WorkQueue`], collecting
+/// one result per chunk **in chunk-index order**. Returns `None` when
+/// the job was cancelled mid-flight.
+fn chunked<T: Send>(
+    n_faults: usize,
+    threads: usize,
+    shared: &JobShared,
+    run_chunk: impl Fn(std::ops::Range<usize>) -> T + Sync,
+) -> Option<Vec<T>> {
+    let threads = threads.max(1);
+    let queue = WorkQueue::new(n_faults, threads, JOB_CHUNK);
+    shared.total.store(queue.chunk_count(), Ordering::SeqCst);
+    let slots: Vec<Mutex<Option<T>>> = (0..queue.chunk_count()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let queue = &queue;
+            let slots = &slots;
+            let run_chunk = &run_chunk;
+            scope.spawn(move || {
+                while let Some(chunk) = queue.pop(w) {
+                    if shared.cancel.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let result = run_chunk(queue.item_range(chunk));
+                    *slots[chunk].lock().expect("chunk slot lock") = Some(result);
+                    shared.done.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    if shared.cancel.load(Ordering::SeqCst) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        out.push(slot.into_inner().expect("chunk slot lock")?);
+    }
+    Some(out)
+}
+
+fn run_fault_sim(
+    compiled: &CompiledCircuit,
+    patterns: &[Vec<bool>],
+    drop_detected: bool,
+    threads: usize,
+    shared: &JobShared,
+) -> JobOutcome {
+    if let Err(failed) = check_patterns(compiled, patterns) {
+        return failed;
+    }
+    let faults = &compiled.collapsed().representatives;
+    let Some(chunks) = chunked(faults.len(), threads, shared, |range| {
+        let offset = range.start;
+        let report = simulate_faults_with_graph(
+            compiled.circuit(),
+            compiled.graph(),
+            &faults[range],
+            patterns,
+            drop_detected,
+        );
+        (offset, report)
+    }) else {
+        return JobOutcome::Cancelled;
+    };
+    // Chunk-order merge: indices shift by the chunk's offset (ascending
+    // across chunks, so the merged index lists stay sorted) and
+    // first-detection credit sums per pattern.
+    let mut merged = FaultSimReport {
+        detected: Vec::new(),
+        undetected: Vec::new(),
+        first_detections: vec![0usize; patterns.len()],
+    };
+    for (offset, report) in chunks {
+        merged
+            .detected
+            .extend(report.detected.iter().map(|f| f + offset));
+        merged
+            .undetected
+            .extend(report.undetected.iter().map(|f| f + offset));
+        for (p, n) in report.first_detections.iter().enumerate() {
+            merged.first_detections[p] += n;
+        }
+    }
+    JobOutcome::FaultSim(merged)
+}
+
+fn run_signatures(
+    compiled: &CompiledCircuit,
+    patterns: &[Vec<bool>],
+    threads: usize,
+    shared: &JobShared,
+) -> JobOutcome {
+    if let Err(failed) = check_patterns(compiled, patterns) {
+        return failed;
+    }
+    let faults = &compiled.collapsed().representatives;
+    let Some(chunks) = chunked(faults.len(), threads, shared, |range| {
+        capture_signatures_with_graph(
+            compiled.circuit(),
+            compiled.graph(),
+            &faults[range],
+            patterns,
+        )
+    }) else {
+        return JobOutcome::Cancelled;
+    };
+    // Row-concatenate in chunk order; every chunk shares the pattern /
+    // output geometry, so the packed words line up exactly.
+    let n_outputs = compiled.circuit().primary_outputs().len();
+    let mut bits = Vec::new();
+    for chunk in &chunks {
+        bits.extend_from_slice(chunk.bits());
+    }
+    match SignatureMatrix::from_raw_parts(faults.len(), patterns.len(), n_outputs, bits) {
+        Ok(matrix) => JobOutcome::Signatures(matrix),
+        Err(e) => JobOutcome::Failed(format!("signature merge rejected: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::compile_circuit;
+    use sinw_atpg::faultsim::capture_signatures;
+    use sinw_atpg::simulate_faults;
+    use sinw_switch::gate::Circuit;
+
+    fn patterns_for(circuit: &Circuit, count: usize) -> Vec<Vec<bool>> {
+        let n_pi = circuit.primary_inputs().len();
+        // Deterministic LCG-ish fill; no external randomness.
+        let mut state = 0x5EED_0B1Au64;
+        (0..count)
+            .map(|_| {
+                (0..n_pi)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 63 == 1
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fault_sim_job_matches_direct_serial_call() {
+        let compiled = Arc::new(compile_circuit("c17", Circuit::c17()));
+        let patterns = Arc::new(patterns_for(compiled.circuit(), 96));
+        let reference = simulate_faults(
+            compiled.circuit(),
+            &compiled.collapsed().representatives,
+            &patterns,
+            true,
+        );
+        let engine = JobEngine::new(2);
+        let handle = engine.submit(JobSpec::FaultSim {
+            compiled: Arc::clone(&compiled),
+            patterns: Arc::clone(&patterns),
+            drop_detected: true,
+            threads: 3,
+        });
+        match handle.wait() {
+            JobOutcome::FaultSim(report) => assert_eq!(report, reference),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let progress = handle.progress();
+        assert_eq!(progress.done, progress.total);
+        assert!(progress.total >= 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn signature_job_matches_direct_capture() {
+        let compiled = Arc::new(compile_circuit("c17", Circuit::c17()));
+        let patterns = Arc::new(patterns_for(compiled.circuit(), 40));
+        let reference = capture_signatures(
+            compiled.circuit(),
+            &compiled.collapsed().representatives,
+            &patterns,
+        );
+        let engine = JobEngine::new(2);
+        let handle = engine.submit(JobSpec::Signatures {
+            compiled,
+            patterns,
+            threads: 2,
+        });
+        match handle.wait() {
+            JobOutcome::Signatures(matrix) => assert_eq!(matrix, reference),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn malformed_patterns_fail_typed() {
+        let compiled = Arc::new(compile_circuit("c17", Circuit::c17()));
+        let engine = JobEngine::new(1);
+        let handle = engine.submit(JobSpec::FaultSim {
+            compiled,
+            patterns: Arc::new(vec![vec![true; 3]]),
+            drop_detected: false,
+            threads: 1,
+        });
+        assert!(matches!(handle.wait(), JobOutcome::Failed(_)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cancelled_before_pickup_never_runs() {
+        let compiled = Arc::new(compile_circuit("c17", Circuit::c17()));
+        let patterns = Arc::new(patterns_for(compiled.circuit(), 8));
+        let engine = JobEngine::new(1);
+        // Stuff the single worker with work, cancel a queued job before
+        // it can be picked up. The first job may or may not finish first;
+        // the cancelled one must never produce a result.
+        let _busy = engine.submit(JobSpec::FaultSim {
+            compiled: Arc::clone(&compiled),
+            patterns: Arc::clone(&patterns),
+            drop_detected: false,
+            threads: 1,
+        });
+        let victim = engine.submit(JobSpec::FaultSim {
+            compiled,
+            patterns,
+            drop_detected: false,
+            threads: 1,
+        });
+        victim.cancel();
+        match victim.wait() {
+            JobOutcome::Cancelled | JobOutcome::FaultSim(_) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let compiled = Arc::new(compile_circuit("c17", Circuit::c17()));
+        let engine = JobEngine::new(1);
+        // Reach into drain without consuming: drop the engine, then use a
+        // fresh one mid-drain is not observable from outside, so instead
+        // assert the documented behaviour through the draining flag.
+        {
+            let mut state = engine.queue.state.lock().expect("queue lock");
+            state.draining = true;
+        }
+        let handle = engine.submit(JobSpec::Diagnosis {
+            dictionary: Arc::new(sinw_atpg::FaultDictionary::from_signatures(
+                &capture_signatures(
+                    compiled.circuit(),
+                    &compiled.collapsed().representatives,
+                    &patterns_for(compiled.circuit(), 4),
+                ),
+            )),
+            observations: vec![],
+        });
+        assert!(matches!(handle.wait(), JobOutcome::Failed(_)));
+        // Clear the flag so Drop's drain can join the (still waiting)
+        // workers normally.
+        engine.queue.ready.notify_all();
+    }
+}

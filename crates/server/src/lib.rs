@@ -1,0 +1,61 @@
+//! # sinw-server — ATPG as a service
+//!
+//! Service layer of the DATE'15 reproduction *"Fault Modeling in
+//! Controllable Polarity Silicon Nanowire Circuits"*: the first step from
+//! batch drivers to a persistent system. Every batch driver in the
+//! workspace re-runs the same front half — parse `.bench`, map onto the
+//! CP cell library, enumerate and collapse the stuck-at universe, build
+//! the levelized [`SimGraph`] — before a single pattern is simulated.
+//! Served at scale, that front half *is* the hot path, so this crate
+//! caches it:
+//!
+//! * [`registry`] — the **compiled-circuit registry**
+//!   ([`CircuitRegistry`]): parse → map → collapse → graph-build runs
+//!   once per distinct source, keyed by a content hash, and every later
+//!   request shares the same immutable [`CompiledCircuit`] artifact
+//!   through an [`Arc`](std::sync::Arc). Hit / miss / compile counters
+//!   make the "exactly one compile" contract observable (and testable).
+//! * [`snapshot`] — the versioned binary **`.sinw` snapshot format**
+//!   (magic + version + checksum): circuits, fault universes, collapsed
+//!   classes, and [`FaultDictionary`] instances survive process restarts
+//!   without re-parsing `.bench` text. Decoding is fully defensive —
+//!   truncated, corrupted, or fuzzed bytes produce a typed
+//!   [`SnapshotError`], never a panic or an unbounded allocation.
+//! * [`jobs`] — the bounded **job engine** ([`JobEngine`]): a fixed pool
+//!   of workers multiplexing concurrent fault-sim / signature-capture /
+//!   campaign / diagnosis requests over shared compiled artifacts, with
+//!   per-job progress, cooperative cancellation, and graceful drain on
+//!   shutdown. Heavy jobs fan out internally over the same work-stealing
+//!   chunk queue ([`sinw_atpg::steal::WorkQueue`]) as the PPSFP engines,
+//!   with the same determinism argument: chunk boundaries are a pure
+//!   function of the input, so results are bit-identical to direct
+//!   serial engine calls no matter how chunks migrate between workers.
+//!
+//! ```
+//! use sinw_server::registry::CircuitRegistry;
+//! use sinw_switch::iscas::CSA16_BENCH;
+//!
+//! let registry = CircuitRegistry::new();
+//! let cold = registry.register_bench("csa16", CSA16_BENCH).unwrap();
+//! let hit = registry.register_bench("csa16", CSA16_BENCH).unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&cold, &hit), "one artifact, shared");
+//! assert_eq!(registry.stats().compiles, 1, "the hit compiled nothing");
+//! ```
+//!
+//! [`SimGraph`]: sinw_atpg::SimGraph
+//! [`FaultDictionary`]: sinw_atpg::FaultDictionary
+//! [`CircuitRegistry`]: registry::CircuitRegistry
+//! [`CompiledCircuit`]: registry::CompiledCircuit
+//! [`SnapshotError`]: snapshot::SnapshotError
+//! [`JobEngine`]: jobs::JobEngine
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod jobs;
+pub mod registry;
+pub mod snapshot;
+
+pub use jobs::{JobEngine, JobHandle, JobOutcome, JobProgress, JobSpec};
+pub use registry::{compile_circuit, CircuitRegistry, CompiledCircuit, RegistryStats};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

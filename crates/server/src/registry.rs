@@ -1,0 +1,416 @@
+//! The compiled-circuit registry: parse → map → collapse → graph-build
+//! once, serve forever.
+//!
+//! A [`CompiledCircuit`] bundles everything the engines derive from a
+//! circuit before the first pattern is simulated: the mapped [`Circuit`]
+//! itself, the enumerated stuck-at universe, its structural collapse, and
+//! the levelized [`SimGraph`] precompute. [`compile_circuit`] is the
+//! **single implementation of that pipeline** in the workspace — the
+//! experiment drivers, the examples, the job engine, and the snapshot
+//! restore path all route through it, so the compile path cannot fork.
+//!
+//! [`CircuitRegistry`] caches compiled artifacts keyed by a content hash
+//! of the source (FNV-1a over the `.bench` text for
+//! [`register_bench`](CircuitRegistry::register_bench), over the
+//! canonical snapshot encoding for
+//! [`register_circuit`](CircuitRegistry::register_circuit)). The hit
+//! path performs the hash and a map lookup and **nothing else** — no
+//! parse, no fault enumeration, no collapse, no graph build — which the
+//! [`RegistryStats::compiles`] counter makes assertable. Concurrent
+//! registrations of the same source are serialized per key: exactly one
+//! caller compiles while the rest block on the per-key slot and then
+//! share the same `Arc`.
+
+use crate::snapshot::Snapshot;
+use sinw_atpg::collapse::{collapse, CollapsedFaults};
+use sinw_atpg::fault_list::{enumerate_stuck_at, StuckAtFault};
+use sinw_atpg::graph::SimGraph;
+use sinw_switch::gate::Circuit;
+use sinw_switch::iscas::{parse_bench, BenchParseError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64 content hash with a one-byte domain tag, so `.bench` text
+/// and canonical circuit bytes can never alias onto the same key.
+fn fnv1a(domain: u8, bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ u64::from(domain);
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Key domain for `.bench` source text.
+const DOMAIN_BENCH: u8 = 0xB5;
+/// Key domain for canonical circuit bytes (generated circuits, snapshots).
+const DOMAIN_CANONICAL: u8 = 0xC4;
+
+/// Everything the engines derive from a circuit before simulating the
+/// first pattern, compiled once and shared immutably.
+#[derive(Debug)]
+pub struct CompiledCircuit {
+    name: String,
+    key: u64,
+    circuit: Circuit,
+    faults: Vec<StuckAtFault>,
+    collapsed: CollapsedFaults,
+    graph: SimGraph,
+}
+
+impl CompiledCircuit {
+    /// Human-readable circuit name (registry label, not part of the key).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The content-hash key this artifact is registered under.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The mapped gate-level circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The full enumerated single-stuck-at universe.
+    #[must_use]
+    pub fn faults(&self) -> &[StuckAtFault] {
+        &self.faults
+    }
+
+    /// Structural equivalence collapse of [`faults`](Self::faults); its
+    /// `representatives` are the service's working fault list.
+    #[must_use]
+    pub fn collapsed(&self) -> &CollapsedFaults {
+        &self.collapsed
+    }
+
+    /// The levelized simulation-graph precompute, built once here and
+    /// reused by every `*_with_graph` engine call.
+    #[must_use]
+    pub fn graph(&self) -> &SimGraph {
+        &self.graph
+    }
+
+    /// Snapshot this artifact for a `.sinw` file (circuit + universe +
+    /// collapse; the graph is derived and cheap, so it is rebuilt on
+    /// restore rather than serialized).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            name: self.name.clone(),
+            circuit: self.circuit.clone(),
+            faults: self.faults.clone(),
+            collapsed: Some(self.collapsed.clone()),
+            dictionary: None,
+        }
+    }
+
+    /// Restore an artifact from a decoded [`Snapshot`], reusing the
+    /// stored universe and collapse when present (the restart fast path)
+    /// and recompiling the missing pieces through [`compile_circuit`]
+    /// otherwise. The graph precompute is always rebuilt — it is derived
+    /// state the snapshot format deliberately does not carry.
+    #[must_use]
+    pub fn from_snapshot(snapshot: Snapshot) -> Self {
+        let Snapshot {
+            name,
+            circuit,
+            faults,
+            collapsed,
+            ..
+        } = snapshot;
+        if faults.is_empty() || collapsed.is_none() {
+            return compile_circuit(&name, circuit);
+        }
+        let key = canonical_key(&circuit);
+        let collapsed = collapsed.expect("checked above");
+        let graph = SimGraph::build(&circuit);
+        CompiledCircuit {
+            name,
+            key,
+            circuit,
+            faults,
+            collapsed,
+            graph,
+        }
+    }
+}
+
+/// Content key of a circuit with no source text: FNV-1a over its
+/// canonical snapshot encoding.
+fn canonical_key(circuit: &Circuit) -> u64 {
+    fnv1a(
+        DOMAIN_CANONICAL,
+        &crate::snapshot::canonical_circuit_bytes(circuit),
+    )
+}
+
+/// The one compile-path implementation: enumerate the stuck-at universe,
+/// collapse it, and build the [`SimGraph`] precompute for an
+/// already-mapped circuit. Every driver that needs the compiled pipeline
+/// — registry misses, snapshot restores, the experiment drivers, the
+/// examples — calls this (or [`CircuitRegistry::register_bench`], which
+/// parses and then calls this).
+#[must_use]
+pub fn compile_circuit(name: &str, circuit: Circuit) -> CompiledCircuit {
+    let key = canonical_key(&circuit);
+    let faults = enumerate_stuck_at(&circuit);
+    let collapsed = collapse(&circuit, &faults);
+    let graph = SimGraph::build(&circuit);
+    CompiledCircuit {
+        name: name.to_string(),
+        key,
+        circuit,
+        faults,
+        collapsed,
+        graph,
+    }
+}
+
+/// Registry throughput counters (monotonic, over the registry's
+/// lifetime) plus the current entry count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Registrations that found a finished artifact (no work done).
+    pub hits: u64,
+    /// Registrations that found no finished artifact (the first of a
+    /// concurrent burst compiles; the rest block on the slot and are
+    /// counted as hits once it fills).
+    pub misses: u64,
+    /// Compile-pipeline runs actually performed. With `N` threads
+    /// registering the same source concurrently this stays exactly 1.
+    pub compiles: u64,
+    /// Distinct sources currently registered.
+    pub entries: usize,
+}
+
+/// One registry slot: the per-key mutex serializes compilation so a
+/// concurrent burst of registrations runs the pipeline exactly once.
+type Slot = Arc<Mutex<Option<Arc<CompiledCircuit>>>>;
+
+/// A concurrent cache of compiled circuits keyed by content hash.
+#[derive(Debug, Default)]
+pub struct CircuitRegistry {
+    slots: Mutex<HashMap<u64, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl CircuitRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-key slot, created empty on first sight. The global map
+    /// lock is held only for the lookup, never during compilation.
+    fn slot(&self, key: u64) -> Slot {
+        self.slots
+            .lock()
+            .expect("registry map poisoned")
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// Hit-or-compile on a slot. Exactly one caller runs `build` per
+    /// empty slot; concurrent callers block on the slot mutex and share
+    /// the artifact it installs.
+    fn lookup_or_compile<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<CompiledCircuit, E>,
+    ) -> Result<Arc<CompiledCircuit>, E> {
+        let slot = self.slot(key);
+        let mut guard = slot.lock().expect("registry slot poisoned");
+        if let Some(artifact) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            return Ok(Arc::clone(artifact));
+        }
+        self.misses.fetch_add(1, Ordering::SeqCst);
+        self.compiles.fetch_add(1, Ordering::SeqCst);
+        let artifact = Arc::new(build()?);
+        *guard = Some(Arc::clone(&artifact));
+        Ok(artifact)
+    }
+
+    /// Register a `.bench` source. The key is a hash of the raw text, so
+    /// a hit skips parsing, mapping, fault enumeration, collapsing, and
+    /// graph building entirely; a miss parses and runs
+    /// [`compile_circuit`] while holding the per-key slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse error of a miss whose source is invalid (the
+    /// slot stays empty, so a later registration retries).
+    pub fn register_bench(
+        &self,
+        name: &str,
+        source: &str,
+    ) -> Result<Arc<CompiledCircuit>, BenchParseError> {
+        let key = fnv1a(DOMAIN_BENCH, source.as_bytes());
+        self.lookup_or_compile(key, || {
+            let circuit = parse_bench(source)?;
+            let mut compiled = compile_circuit(name, circuit);
+            compiled.key = key;
+            Ok(compiled)
+        })
+    }
+
+    /// Register an already-built circuit (a parametric generator, a
+    /// decoded snapshot). The key is a hash of the canonical circuit
+    /// encoding; a hit skips fault enumeration, collapsing, and graph
+    /// building.
+    pub fn register_circuit(&self, name: &str, circuit: Circuit) -> Arc<CompiledCircuit> {
+        let key = canonical_key(&circuit);
+        let result: Result<_, std::convert::Infallible> =
+            self.lookup_or_compile(key, || Ok(compile_circuit(name, circuit)));
+        match result {
+            Ok(artifact) => artifact,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Seed the registry with a pre-compiled artifact (the snapshot
+    /// restore path) under its own key. Counts as neither hit, miss, nor
+    /// compile; an existing finished entry wins and is returned instead.
+    pub fn insert(&self, artifact: Arc<CompiledCircuit>) -> Arc<CompiledCircuit> {
+        let slot = self.slot(artifact.key());
+        let mut guard = slot.lock().expect("registry slot poisoned");
+        match guard.as_ref() {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                *guard = Some(Arc::clone(&artifact));
+                artifact
+            }
+        }
+    }
+
+    /// The finished artifact under `key`, if any. A pure query: does not
+    /// touch the hit/miss counters and never waits on an in-flight
+    /// compile.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<CompiledCircuit>> {
+        let slot = {
+            let slots = self.slots.lock().expect("registry map poisoned");
+            slots.get(&key)?.clone()
+        };
+        let guard = slot.try_lock().ok()?;
+        guard.as_ref().map(Arc::clone)
+    }
+
+    /// Current counters and entry count. `entries` counts finished
+    /// artifacts only (a slot whose compile failed or is in flight is
+    /// not an entry).
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        let entries = {
+            let slots = self.slots.lock().expect("registry map poisoned");
+            let slot_list: Vec<Slot> = slots.values().cloned().collect();
+            drop(slots);
+            slot_list
+                .iter()
+                .filter(|s| s.lock().map(|g| g.is_some()).unwrap_or(false))
+                .count()
+        };
+        RegistryStats {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            compiles: self.compiles.load(Ordering::SeqCst),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinw_switch::iscas::{C17_BENCH, CSA16_BENCH};
+
+    #[test]
+    fn hit_returns_the_same_arc_and_compiles_once() {
+        let reg = CircuitRegistry::new();
+        let a = reg.register_bench("c17", C17_BENCH).expect("c17 parses");
+        let b = reg.register_bench("c17", C17_BENCH).expect("c17 parses");
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = reg.stats();
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn distinct_sources_get_distinct_entries() {
+        let reg = CircuitRegistry::new();
+        let a = reg.register_bench("c17", C17_BENCH).expect("parses");
+        let b = reg.register_bench("csa16", CSA16_BENCH).expect("parses");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.stats().entries, 2);
+        assert_eq!(reg.stats().compiles, 2);
+    }
+
+    #[test]
+    fn parse_errors_propagate_and_leave_the_slot_retryable() {
+        let reg = CircuitRegistry::new();
+        let bad = "INPUT(a)\nb = FROB(a)\nOUTPUT(b)\n";
+        assert!(reg.register_bench("bad", bad).is_err());
+        assert_eq!(reg.stats().entries, 0);
+        // A later valid registration under a different key still works,
+        // and retrying the bad source fails again rather than caching.
+        assert!(reg.register_bench("bad", bad).is_err());
+        assert!(reg.register_bench("c17", C17_BENCH).is_ok());
+    }
+
+    #[test]
+    fn register_circuit_hits_on_identical_structure() {
+        let reg = CircuitRegistry::new();
+        let a = reg.register_circuit("c17", Circuit::c17());
+        let b = reg.register_circuit("c17", Circuit::c17());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.stats().compiles, 1);
+    }
+
+    #[test]
+    fn compiled_artifact_agrees_with_direct_pipeline() {
+        let reg = CircuitRegistry::new();
+        let compiled = reg.register_bench("c17", C17_BENCH).expect("parses");
+        let direct = parse_bench(C17_BENCH).expect("parses");
+        assert_eq!(compiled.faults(), &enumerate_stuck_at(&direct)[..]);
+        let collapsed = collapse(&direct, compiled.faults());
+        assert_eq!(
+            compiled.collapsed().representatives,
+            collapsed.representatives
+        );
+        assert_eq!(compiled.collapsed().class_of, collapsed.class_of);
+        assert_eq!(compiled.graph().gate_count(), direct.gates().len());
+    }
+
+    #[test]
+    fn insert_seeds_without_touching_counters() {
+        let reg = CircuitRegistry::new();
+        let artifact = Arc::new(compile_circuit("c17", Circuit::c17()));
+        let key = artifact.key();
+        let seeded = reg.insert(Arc::clone(&artifact));
+        assert!(Arc::ptr_eq(&seeded, &artifact));
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.misses, stats.compiles), (0, 0, 0));
+        assert_eq!(stats.entries, 1);
+        let fetched = reg.get(key).expect("seeded entry present");
+        assert!(Arc::ptr_eq(&fetched, &artifact));
+        // Registering the same structure now hits the seeded entry
+        // without compiling anything.
+        let hit = reg.register_circuit("c17", Circuit::c17());
+        assert!(Arc::ptr_eq(&hit, &artifact));
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.compiles), (1, 0));
+    }
+}

@@ -1,0 +1,814 @@
+//! The versioned binary `.sinw` snapshot format.
+//!
+//! A snapshot lets a service session survive a restart without
+//! re-parsing `.bench` text or re-deriving the fault universe: it
+//! serializes a mapped [`Circuit`], its enumerated stuck-at universe,
+//! the structural collapse, and (optionally) a class-compressed
+//! [`FaultDictionary`] — everything expensive about a
+//! [`CompiledCircuit`](crate::registry::CompiledCircuit) except the
+//! [`SimGraph`](sinw_atpg::SimGraph) precompute, which is derived state
+//! and cheaper to rebuild than to ship.
+//!
+//! ## Container layout (all integers little-endian)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `b"SINW"` |
+//! | 4      | 2    | format version (currently 1) |
+//! | 6      | 2    | reserved (must be 0) |
+//! | 8      | 8    | payload length in bytes |
+//! | 16     | 8    | FNV-1a 64 checksum of the payload |
+//! | 24     | n    | payload (sections below) |
+//!
+//! ## Payload sections, in order
+//!
+//! | section | contents |
+//! |---------|----------|
+//! | name    | `str` — circuit name |
+//! | circuit | `u32` signal count; per signal a tagged creation op (`0` = primary input + `str` name; `1` = gate + `u8` cell code + `str` instance name + one `u32` input id per cell pin + `str` output-signal name); `u32` output count + `u32` ids |
+//! | faults  | `u32` count; per fault `u8` site tag (`0` = stem + `u32` signal, `1` = branch + `u32` gate + `u32` pin) + `u8` stuck value |
+//! | collapse | `u8` presence; if present `u32` representative count + representatives (fault encoding) + `u32` class count + `u32` class index per fault |
+//! | dictionary | `u8` presence; if present `u32` patterns + `u32` outputs + `u32` classes + `u32` faults + packed `u64` class signatures + `u32` class index per fault |
+//!
+//! `str` is a `u32` byte length followed by UTF-8 bytes. The circuit
+//! section is a **replay log in signal-id order**: decoding replays each
+//! creation op through the [`Circuit`] builder, which reproduces signal
+//! ids, gate ids, topological order, and the fanout index exactly —
+//! re-encoding a decoded snapshot is guaranteed byte-identical.
+//!
+//! ## Decode discipline
+//!
+//! Decoding is total: any byte string produces either a [`Snapshot`] or
+//! a typed [`SnapshotError`] — never a panic and never an allocation
+//! larger than the input justifies. Every count is bounds-checked
+//! against the remaining payload *before* any allocation, every signal /
+//! gate / pin / class index is range-checked against the structure
+//! decoded so far, and the builder's own arity and topological-order
+//! checks run on replay.
+
+use sinw_atpg::collapse::CollapsedFaults;
+use sinw_atpg::diagnose::FaultDictionary;
+use sinw_atpg::fault_list::{FaultSite, StuckAtFault};
+use sinw_switch::cells::CellKind;
+use sinw_switch::gate::{Circuit, GateId, SignalId};
+
+/// The four magic bytes every `.sinw` file starts with.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SINW";
+
+/// The current format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Container header size in bytes.
+const HEADER_LEN: usize = 24;
+
+/// FNV-1a 64 over the payload — the integrity checksum of the container.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in payload {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Typed decode failure. Every malformed input maps onto one of these —
+/// decoding never panics and never allocates more than the input's own
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input ended before a read completed.
+    Truncated {
+        /// Byte offset of the failed read (payload-relative after the
+        /// header is consumed).
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that remained.
+        available: usize,
+    },
+    /// The first four bytes are not [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The version field names a format this build does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// The header's reserved field is non-zero.
+    ReservedNonZero {
+        /// The value found.
+        found: u16,
+    },
+    /// The container holds more bytes than header + declared payload.
+    TrailingBytes {
+        /// How many bytes too many.
+        extra: usize,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum declared in the header.
+        declared: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// A structurally invalid payload: bad tag, out-of-range index,
+    /// arity violation, non-UTF-8 string, inconsistent section.
+    Malformed {
+        /// Which section or field was being decoded.
+        context: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Filesystem failure in [`Snapshot::read_file`] /
+    /// [`Snapshot::write_file`].
+    Io(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated {
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated at byte {offset}: needed {needed} bytes, {available} remain"
+            ),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (expected {SNAPSHOT_MAGIC:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found} (speak {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::ReservedNonZero { found } => {
+                write!(f, "reserved header field is {found:#06x}, expected 0")
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the declared payload")
+            }
+            SnapshotError::ChecksumMismatch { declared, computed } => write!(
+                f,
+                "checksum mismatch: header declares {declared:#018x}, payload hashes to {computed:#018x}"
+            ),
+            SnapshotError::Malformed { context, detail } => {
+                write!(f, "malformed {context}: {detail}")
+            }
+            SnapshotError::Io(e) => write!(f, "snapshot i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A decoded (or to-be-encoded) `.sinw` snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Circuit name (a label; not part of any registry key).
+    pub name: String,
+    /// The mapped gate-level circuit.
+    pub circuit: Circuit,
+    /// The enumerated stuck-at universe (may be empty if the writer
+    /// chose not to store it).
+    pub faults: Vec<StuckAtFault>,
+    /// Structural collapse of `faults`, when stored.
+    pub collapsed: Option<CollapsedFaults>,
+    /// A class-compressed fault dictionary, when stored.
+    pub dictionary: Option<FaultDictionary>,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize, what: &str) {
+    let v = u32::try_from(v).unwrap_or_else(|_| panic!("{what} count {v} overflows u32"));
+    put_u32(out, v);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len(), "string byte");
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_fault(out: &mut Vec<u8>, fault: StuckAtFault) {
+    match fault.site {
+        FaultSite::Signal(s) => {
+            out.push(0);
+            put_usize(out, s.0, "signal id");
+        }
+        FaultSite::GatePin(g, pin) => {
+            out.push(1);
+            put_usize(out, g.0, "gate id");
+            put_usize(out, pin, "pin");
+        }
+    }
+    out.push(u8::from(fault.value));
+}
+
+/// Append the canonical circuit section (the replay log in signal-id
+/// order). Also the byte string [`crate::registry`] hashes to key
+/// circuits that have no `.bench` source text.
+fn put_circuit(out: &mut Vec<u8>, circuit: &Circuit) {
+    put_usize(out, circuit.signal_count(), "signal");
+    for s in 0..circuit.signal_count() {
+        let sig = SignalId(s);
+        match circuit.driver(sig) {
+            None => {
+                out.push(0);
+                put_str(out, circuit.signal_name(sig));
+            }
+            Some(gid) => {
+                let gate = &circuit.gates()[gid.0];
+                out.push(1);
+                out.push(gate.kind.code());
+                put_str(out, &gate.name);
+                for input in &gate.inputs {
+                    put_usize(out, input.0, "gate input id");
+                }
+                put_str(out, circuit.signal_name(sig));
+            }
+        }
+    }
+    put_usize(out, circuit.primary_outputs().len(), "primary output");
+    for po in circuit.primary_outputs() {
+        put_usize(out, po.0, "primary output id");
+    }
+}
+
+/// The canonical byte encoding of a circuit alone — the content the
+/// registry hashes for circuits with no source text. Identical circuit
+/// structure ⇒ identical bytes.
+#[must_use]
+pub fn canonical_circuit_bytes(circuit: &Circuit) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_circuit(&mut out, circuit);
+    out
+}
+
+impl Snapshot {
+    /// Encode into a self-contained `.sinw` byte string (header +
+    /// checksummed payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count exceeds `u32::MAX` — beyond the format's
+    /// addressing, and orders of magnitude beyond any circuit in the
+    /// workspace.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, &self.name);
+        put_circuit(&mut payload, &self.circuit);
+
+        put_usize(&mut payload, self.faults.len(), "fault");
+        for &fault in &self.faults {
+            put_fault(&mut payload, fault);
+        }
+
+        match &self.collapsed {
+            None => payload.push(0),
+            Some(collapsed) => {
+                payload.push(1);
+                put_usize(
+                    &mut payload,
+                    collapsed.representatives.len(),
+                    "representative",
+                );
+                for &rep in &collapsed.representatives {
+                    put_fault(&mut payload, rep);
+                }
+                put_usize(&mut payload, collapsed.class_of.len(), "collapse class");
+                for &class in &collapsed.class_of {
+                    put_usize(&mut payload, class, "collapse class index");
+                }
+            }
+        }
+
+        match &self.dictionary {
+            None => payload.push(0),
+            Some(dict) => {
+                payload.push(1);
+                put_usize(&mut payload, dict.pattern_count(), "dictionary pattern");
+                put_usize(&mut payload, dict.output_count(), "dictionary output");
+                put_usize(&mut payload, dict.class_count(), "dictionary class");
+                put_usize(&mut payload, dict.fault_count(), "dictionary fault");
+                for class in 0..dict.class_count() {
+                    for &word in dict.class_signature(class) {
+                        put_u64(&mut payload, word);
+                    }
+                }
+                for &class in dict.class_of() {
+                    put_usize(&mut payload, class, "dictionary class index");
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u16(&mut out, SNAPSHOT_VERSION);
+        put_u16(&mut out, 0);
+        put_u64(&mut out, payload.len() as u64);
+        put_u64(&mut out, checksum(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a `.sinw` byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`SnapshotError`] describing the first problem
+    /// found; see the module docs for the decode discipline.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                offset: 0,
+                needed: HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let reserved = u16::from_le_bytes(bytes[6..8].try_into().expect("2-byte slice"));
+        if reserved != 0 {
+            return Err(SnapshotError::ReservedNonZero { found: reserved });
+        }
+        let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        let body = &bytes[HEADER_LEN..];
+        let declared_usize = usize::try_from(declared).unwrap_or(usize::MAX);
+        if body.len() < declared_usize {
+            return Err(SnapshotError::Truncated {
+                offset: 0,
+                needed: declared_usize,
+                available: body.len(),
+            });
+        }
+        if body.len() > declared_usize {
+            return Err(SnapshotError::TrailingBytes {
+                extra: body.len() - declared_usize,
+            });
+        }
+        let declared_sum = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+        let computed = checksum(body);
+        if computed != declared_sum {
+            return Err(SnapshotError::ChecksumMismatch {
+                declared: declared_sum,
+                computed,
+            });
+        }
+
+        let mut r = Reader {
+            bytes: body,
+            pos: 0,
+        };
+        let name = r.str("name")?;
+        let circuit = read_circuit(&mut r)?;
+        let faults = read_faults(&mut r, &circuit)?;
+        let collapsed = read_collapse(&mut r, &circuit, &faults)?;
+        let dictionary = read_dictionary(&mut r)?;
+        if r.pos != body.len() {
+            return Err(SnapshotError::Malformed {
+                context: "payload",
+                detail: format!(
+                    "{} undecoded bytes after the last section",
+                    body.len() - r.pos
+                ),
+            });
+        }
+        Ok(Snapshot {
+            name,
+            circuit,
+            faults,
+            collapsed,
+            dictionary,
+        })
+    }
+
+    /// Encode and write to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure.
+    pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path.as_ref(), self.encode())
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.as_ref().display())))
+    }
+
+    /// Read and decode `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure, else any
+    /// decode error of the file's contents.
+    pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.as_ref().display())))?;
+        Self::decode(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over the payload. Every read is total; every
+/// count is validated against the remaining bytes before any allocation
+/// sized by it.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    /// A `u32` element count whose elements each consume at least
+    /// `min_elem_bytes` — rejected up front if even minimal elements
+    /// cannot fit in the remaining payload, so a hostile count can never
+    /// size an allocation beyond the input's own length.
+    fn count(
+        &mut self,
+        context: &'static str,
+        min_elem_bytes: usize,
+    ) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        let need = n.saturating_mul(min_elem_bytes);
+        if need > self.remaining() {
+            return Err(SnapshotError::Malformed {
+                context,
+                detail: format!(
+                    "count {n} needs at least {need} bytes but only {} remain",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, context: &'static str) -> Result<String, SnapshotError> {
+        let len = self.count(context, 1)?;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|e| SnapshotError::Malformed {
+            context,
+            detail: format!("invalid UTF-8: {e}"),
+        })
+    }
+}
+
+fn read_circuit(r: &mut Reader<'_>) -> Result<Circuit, SnapshotError> {
+    // Each signal op consumes at least 2 bytes (tag + empty-name length
+    // low byte is already 4 — be conservative and use the tag alone).
+    let n_signals = r.count("circuit signal", 1)?;
+    let mut circuit = Circuit::new();
+    for s in 0..n_signals {
+        match r.u8()? {
+            0 => {
+                let name = r.str("primary input name")?;
+                circuit.add_input(name);
+            }
+            1 => {
+                let code = r.u8()?;
+                let kind = CellKind::from_code(code).ok_or_else(|| SnapshotError::Malformed {
+                    context: "gate cell kind",
+                    detail: format!("unknown cell code {code} at signal {s}"),
+                })?;
+                let name = r.str("gate instance name")?;
+                let mut inputs = Vec::with_capacity(kind.input_count());
+                for _ in 0..kind.input_count() {
+                    inputs.push(SignalId(r.u32()? as usize));
+                }
+                let out = circuit.try_add_gate(kind, name, &inputs).map_err(|e| {
+                    SnapshotError::Malformed {
+                        context: "gate",
+                        detail: format!("replay of signal {s} rejected: {e}"),
+                    }
+                })?;
+                let signal_name = r.str("gate output name")?;
+                circuit.set_signal_name(out, signal_name);
+            }
+            tag => {
+                return Err(SnapshotError::Malformed {
+                    context: "circuit signal",
+                    detail: format!("unknown creation tag {tag} at signal {s}"),
+                })
+            }
+        }
+    }
+    let n_outputs = r.count("primary output", 4)?;
+    for _ in 0..n_outputs {
+        let id = r.u32()? as usize;
+        if id >= circuit.signal_count() {
+            return Err(SnapshotError::Malformed {
+                context: "primary output",
+                detail: format!("output id {id} out of range ({n_signals} signals)"),
+            });
+        }
+        circuit.mark_output(SignalId(id));
+    }
+    Ok(circuit)
+}
+
+fn read_fault(
+    r: &mut Reader<'_>,
+    circuit: &Circuit,
+    context: &'static str,
+) -> Result<StuckAtFault, SnapshotError> {
+    let site = match r.u8()? {
+        0 => {
+            let id = r.u32()? as usize;
+            if id >= circuit.signal_count() {
+                return Err(SnapshotError::Malformed {
+                    context,
+                    detail: format!("stem signal {id} out of range"),
+                });
+            }
+            FaultSite::Signal(SignalId(id))
+        }
+        1 => {
+            let gate = r.u32()? as usize;
+            let pin = r.u32()? as usize;
+            let arity = circuit
+                .gates()
+                .get(gate)
+                .map(|g| g.inputs.len())
+                .ok_or_else(|| SnapshotError::Malformed {
+                    context,
+                    detail: format!("branch gate {gate} out of range"),
+                })?;
+            if pin >= arity {
+                return Err(SnapshotError::Malformed {
+                    context,
+                    detail: format!("branch pin {pin} out of range for gate {gate} ({arity} pins)"),
+                });
+            }
+            FaultSite::GatePin(GateId(gate), pin)
+        }
+        tag => {
+            return Err(SnapshotError::Malformed {
+                context,
+                detail: format!("unknown fault site tag {tag}"),
+            })
+        }
+    };
+    let value = match r.u8()? {
+        0 => false,
+        1 => true,
+        v => {
+            return Err(SnapshotError::Malformed {
+                context,
+                detail: format!("stuck value {v} is neither 0 nor 1"),
+            })
+        }
+    };
+    Ok(StuckAtFault { site, value })
+}
+
+fn read_faults(r: &mut Reader<'_>, circuit: &Circuit) -> Result<Vec<StuckAtFault>, SnapshotError> {
+    // Minimal fault encoding: tag + u32 + value = 6 bytes.
+    let n = r.count("fault", 6)?;
+    let mut faults = Vec::with_capacity(n);
+    for _ in 0..n {
+        faults.push(read_fault(r, circuit, "fault")?);
+    }
+    Ok(faults)
+}
+
+fn read_collapse(
+    r: &mut Reader<'_>,
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+) -> Result<Option<CollapsedFaults>, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n_reps = r.count("collapse representative", 6)?;
+            let mut representatives = Vec::with_capacity(n_reps);
+            for _ in 0..n_reps {
+                representatives.push(read_fault(r, circuit, "collapse representative")?);
+            }
+            let n_classes = r.count("collapse class", 4)?;
+            if n_classes != faults.len() {
+                return Err(SnapshotError::Malformed {
+                    context: "collapse class",
+                    detail: format!(
+                        "class map covers {n_classes} faults but the universe holds {}",
+                        faults.len()
+                    ),
+                });
+            }
+            let mut class_of = Vec::with_capacity(n_classes);
+            for i in 0..n_classes {
+                let class = r.u32()? as usize;
+                if class >= representatives.len() {
+                    return Err(SnapshotError::Malformed {
+                        context: "collapse class",
+                        detail: format!(
+                            "fault {i} maps to representative {class}, only {} exist",
+                            representatives.len()
+                        ),
+                    });
+                }
+                class_of.push(class);
+            }
+            Ok(Some(CollapsedFaults {
+                representatives,
+                class_of,
+            }))
+        }
+        tag => Err(SnapshotError::Malformed {
+            context: "collapse",
+            detail: format!("presence flag {tag} is neither 0 nor 1"),
+        }),
+    }
+}
+
+fn read_dictionary(r: &mut Reader<'_>) -> Result<Option<FaultDictionary>, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n_patterns = r.u32()? as usize;
+            let n_outputs = r.u32()? as usize;
+            let n_classes = r.u32()? as usize;
+            let n_faults = r.u32()? as usize;
+            let payload_bits =
+                n_patterns
+                    .checked_mul(n_outputs)
+                    .ok_or_else(|| SnapshotError::Malformed {
+                        context: "dictionary",
+                        detail: String::from("pattern x output bit count overflows"),
+                    })?;
+            let words_per_row = payload_bits.div_ceil(64);
+            let n_words =
+                n_classes
+                    .checked_mul(words_per_row)
+                    .ok_or_else(|| SnapshotError::Malformed {
+                        context: "dictionary",
+                        detail: String::from("class x word count overflows"),
+                    })?;
+            let byte_len = n_words
+                .checked_mul(8)
+                .filter(|need| *need <= r.remaining())
+                .ok_or_else(|| SnapshotError::Malformed {
+                    context: "dictionary",
+                    detail: format!(
+                        "{n_classes} classes x {words_per_row} words exceed the remaining payload"
+                    ),
+                })?;
+            let _ = byte_len;
+            let mut class_sigs = Vec::with_capacity(n_words);
+            for _ in 0..n_words {
+                class_sigs.push(r.u64()?);
+            }
+            if n_faults.saturating_mul(4) > r.remaining() {
+                return Err(SnapshotError::Malformed {
+                    context: "dictionary",
+                    detail: format!("{n_faults} class indices exceed the remaining payload"),
+                });
+            }
+            let mut class_of = Vec::with_capacity(n_faults);
+            for _ in 0..n_faults {
+                class_of.push(r.u32()? as usize);
+            }
+            let dict = FaultDictionary::from_raw_parts(n_patterns, n_outputs, class_sigs, class_of)
+                .map_err(|detail| SnapshotError::Malformed {
+                    context: "dictionary",
+                    detail,
+                })?;
+            if dict.class_count() != n_classes {
+                return Err(SnapshotError::Malformed {
+                    context: "dictionary",
+                    detail: format!(
+                        "header declares {n_classes} classes, class map implies {}",
+                        dict.class_count()
+                    ),
+                });
+            }
+            Ok(Some(dict))
+        }
+        tag => Err(SnapshotError::Malformed {
+            context: "dictionary",
+            detail: format!("presence flag {tag} is neither 0 nor 1"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinw_atpg::collapse::collapse;
+    use sinw_atpg::fault_list::enumerate_stuck_at;
+
+    fn c17_snapshot() -> Snapshot {
+        let circuit = Circuit::c17();
+        let faults = enumerate_stuck_at(&circuit);
+        let collapsed = collapse(&circuit, &faults);
+        Snapshot {
+            name: String::from("c17"),
+            circuit,
+            faults,
+            collapsed: Some(collapsed),
+            dictionary: None,
+        }
+    }
+
+    #[test]
+    fn encode_decode_reencode_is_byte_identical() {
+        let snap = c17_snapshot();
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).expect("round trip");
+        assert_eq!(decoded.encode(), bytes);
+        assert_eq!(decoded.name, "c17");
+        assert_eq!(decoded.faults, snap.faults);
+    }
+
+    #[test]
+    fn header_fields_live_where_the_spec_says() {
+        let bytes = c17_snapshot().encode();
+        assert_eq!(&bytes[0..4], &SNAPSHOT_MAGIC);
+        assert_eq!(
+            u16::from_le_bytes(bytes[4..6].try_into().unwrap()),
+            SNAPSHOT_VERSION
+        );
+        let declared = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        assert_eq!(declared as usize, bytes.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_panicking() {
+        assert!(matches!(
+            Snapshot::decode(&[]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let snap = c17_snapshot();
+        let dir = std::env::temp_dir().join("sinw_snapshot_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("c17.sinw");
+        snap.write_file(&path).expect("write");
+        let back = Snapshot::read_file(&path).expect("read");
+        assert_eq!(back.encode(), snap.encode());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            Snapshot::read_file("/nonexistent/definitely/not/here.sinw"),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! Concurrency stress tests of the compiled-circuit registry: N threads
+//! racing to register the same source must trigger **exactly one**
+//! compile (asserted through the registry's own counters) and all
+//! receive the **same** `Arc` — and the whole race is re-run many times
+//! at several thread counts, like the work-stealing suite, because a
+//! lost-update bug is a dice roll, not a deterministic failure.
+
+use std::sync::Arc;
+
+use sinw_server::registry::CircuitRegistry;
+use sinw_switch::generate::carry_select_adder;
+use sinw_switch::iscas::CSA16_BENCH;
+
+#[test]
+fn racing_registrants_share_one_compile() {
+    for run in 0..16 {
+        for threads in [2usize, 4, 8] {
+            let registry = Arc::new(CircuitRegistry::new());
+            let barrier = Arc::new(std::sync::Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let registry = Arc::clone(&registry);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        registry
+                            .register_bench("csa16", CSA16_BENCH)
+                            .expect("csa16 parses")
+                    })
+                })
+                .collect();
+            let artifacts: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("registrant thread"))
+                .collect();
+
+            for artifact in &artifacts[1..] {
+                assert!(
+                    Arc::ptr_eq(&artifacts[0], artifact),
+                    "run {run}, {threads} threads: a registrant got a different Arc"
+                );
+            }
+            let stats = registry.stats();
+            assert_eq!(
+                stats.compiles, 1,
+                "run {run}, {threads} threads: expected exactly one compile, saw {}",
+                stats.compiles
+            );
+            assert_eq!(
+                stats.hits + stats.misses,
+                threads as u64,
+                "run {run}, {threads} threads: every registrant must be counted"
+            );
+            assert_eq!(stats.entries, 1);
+        }
+    }
+}
+
+#[test]
+fn distinct_circuits_race_without_cross_talk() {
+    // Two sources raced from many threads: one compile each, and every
+    // thread gets the artifact of the source it asked for.
+    let a_src = CSA16_BENCH;
+    for run in 0..16 {
+        let registry = Arc::new(CircuitRegistry::new());
+        let threads = 8usize;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    if t % 2 == 0 {
+                        ("csa16", registry.register_bench("csa16", a_src).unwrap())
+                    } else {
+                        (
+                            "csel",
+                            registry.register_circuit("csel", carry_select_adder(8, 4)),
+                        )
+                    }
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("registrant thread"))
+            .collect();
+        for (asked, artifact) in &results {
+            assert_eq!(
+                artifact.name(),
+                *asked,
+                "run {run}: a thread received the wrong circuit"
+            );
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.compiles, 2, "run {run}: one compile per source");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits + stats.misses, threads as u64);
+    }
+}
+
+#[test]
+fn the_hit_path_compiles_nothing_even_under_churn() {
+    // Warm the registry once, then hammer the hit path from many
+    // threads: the compile counter must never move again — the contract
+    // that a hit skips parse, mapping, collapse, and graph build
+    // entirely (all of which only happen inside `compile_circuit`,
+    // which is what the counter counts).
+    let registry = Arc::new(CircuitRegistry::new());
+    let warm = registry.register_bench("csa16", CSA16_BENCH).unwrap();
+    assert_eq!(registry.stats().compiles, 1);
+
+    let threads = 8usize;
+    let rounds = 50usize;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    let hit = registry.register_bench("csa16", CSA16_BENCH).unwrap();
+                    assert!(hit.graph().signal_count() > 0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread");
+    }
+
+    let stats = registry.stats();
+    assert_eq!(stats.compiles, 1, "hits must not recompile");
+    assert_eq!(stats.hits, (threads * rounds) as u64);
+    assert_eq!(stats.misses, 1);
+    // And the artifact they all shared is still the warm one.
+    let again = registry.register_bench("csa16", CSA16_BENCH).unwrap();
+    assert!(Arc::ptr_eq(&warm, &again));
+}

@@ -64,6 +64,28 @@ impl CellKind {
         matches!(self, CellKind::Xor2 | CellKind::Xor3 | CellKind::Maj3)
     }
 
+    /// Stable one-byte wire encoding of the cell kind (the `.sinw`
+    /// snapshot format depends on these values never changing: new kinds
+    /// get new codes, existing codes are frozen).
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            CellKind::Inv => 0,
+            CellKind::Nand2 => 1,
+            CellKind::Nor2 => 2,
+            CellKind::Xor2 => 3,
+            CellKind::Xor3 => 4,
+            CellKind::Maj3 => 5,
+        }
+    }
+
+    /// Inverse of [`CellKind::code`]; `None` for unknown codes (a decode
+    /// of corrupted or future-versioned snapshot bytes, never a panic).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<CellKind> {
+        CellKind::ALL.iter().copied().find(|k| k.code() == code)
+    }
+
     /// Reference boolean function of the cell.
     #[must_use]
     pub fn function(&self, inputs: &[bool]) -> bool {

@@ -11,9 +11,9 @@
 //! ```
 
 use sinw::atpg::diagnose::{full_pass_observations, FaultDictionary};
-use sinw::atpg::fault_list::enumerate_stuck_at;
 use sinw::atpg::tpg::{AtpgConfig, AtpgEngine};
-use sinw::switch::iscas::{parse_bench, CSA16_BENCH};
+use sinw::server::registry::CircuitRegistry;
+use sinw::switch::iscas::CSA16_BENCH;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast")
@@ -22,24 +22,33 @@ fn main() {
     print!("{result}");
 
     // A worked diagnosis on csa16: inject one fault, log what a tester
-    // would see, and rank the candidates.
-    let csa = parse_bench(CSA16_BENCH).expect("embedded csa16 parses");
-    let faults = enumerate_stuck_at(&csa);
-    let (_, report) = AtpgEngine::run_collapsed(&csa, AtpgConfig::default());
-    let dict = FaultDictionary::build_threaded(&csa, &faults, &report.patterns, 0);
+    // would see, and rank the candidates. The front half — parse, CP
+    // mapping, fault enumeration, collapse, graph build — comes from the
+    // compiled-circuit registry (the same single compile path the
+    // experiment drivers and the service layer use), not a second
+    // hand-rolled pipeline.
+    let registry = CircuitRegistry::new();
+    let compiled = registry
+        .register_bench("csa16", CSA16_BENCH)
+        .expect("embedded csa16 parses");
+    let csa = compiled.circuit();
+    let faults = compiled.faults();
+    let report =
+        AtpgEngine::new(csa, AtpgConfig::default()).run(&compiled.collapsed().representatives);
+    let dict = FaultDictionary::build_threaded(csa, faults, &report.patterns, 0);
     let injected = faults.len() / 3;
-    let obs = full_pass_observations(&csa, faults[injected], &report.patterns);
+    let obs = full_pass_observations(csa, faults[injected], &report.patterns);
     let diag = dict.diagnose(&obs);
     println!(
         "\ninjected {} into csa16: {} failing (pattern, output) probes observed",
-        faults[injected].describe(&csa),
+        faults[injected].describe(csa),
         obs.len()
     );
     for cand in diag.candidates.iter().take(3) {
         let members: Vec<String> = dict
             .class_members(cand.class)
             .iter()
-            .map(|fi| faults[*fi].describe(&csa))
+            .map(|fi| faults[*fi].describe(csa))
             .collect();
         println!(
             "  class {:>4}  distance {:>3}{}  {{{}}}",

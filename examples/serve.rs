@@ -1,0 +1,25 @@
+//! ATPG as a service: the registry / snapshot / job-engine demo.
+//!
+//! Registers each demo circuit cold, re-registers it warm (the hit path
+//! skips parse, CP mapping, fault collapse, and graph build — the
+//! registry's compile counter proves it), round-trips every compiled
+//! artifact through the versioned `.sinw` snapshot format, and pushes a
+//! fault-sim job through the bounded job engine to confirm the result is
+//! bit-identical to a direct serial engine call.
+//!
+//! ```text
+//! cargo run --release --example serve            # csa16 + mul32 + c6288-class
+//! cargo run --release --example serve -- --fast  # csa16 + mul8
+//! SINW_SERVE_FAST=1 cargo run --release --example serve   # CI smoke
+//! ```
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast")
+        || std::env::var("SINW_SERVE_FAST").is_ok_and(|v| v != "0");
+    let result = sinw::core::experiments::service(fast);
+    print!("{result}");
+    println!(
+        "worst cold/hit speedup across the suite: {:.0}x",
+        result.worst_speedup()
+    );
+}

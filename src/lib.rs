@@ -3,9 +3,9 @@
 //! Umbrella crate of the DATE 2015 reproduction *"Fault Modeling in
 //! Controllable Polarity Silicon Nanowire Circuits"* (H. Ghasemzadeh
 //! Mohammadi, P.-E. Gaillardon, G. De Micheli). It re-exports the five
-//! substrate crates so the repo-level `examples/` and `tests/` can reach the
-//! whole stack through one dependency, and so downstream users get a single
-//! entry point:
+//! substrate crates plus the service layer so the repo-level `examples/` and
+//! `tests/` can reach the whole stack through one dependency, and so
+//! downstream users get a single entry point:
 //!
 //! | crate | layer |
 //! |-------|-------|
@@ -14,6 +14,7 @@
 //! | [`switch`] (`sinw-switch`) | three-valued switch-level simulation, Fig. 2 cell library |
 //! | [`atpg`] (`sinw-atpg`) | classical PODEM / fault-simulation / stuck-open baselines |
 //! | [`core`] (`sinw-core`) | the paper's contributions: IFA census, dictionaries, channel-break tests |
+//! | [`server`] (`sinw-server`) | service layer: compiled-circuit registry, `.sinw` snapshots, job engine |
 //!
 //! ```
 //! use sinw::switch::cells::{Cell, CellKind};
@@ -33,4 +34,5 @@ pub use sinw_analog as analog;
 pub use sinw_atpg as atpg;
 pub use sinw_core as core;
 pub use sinw_device as device;
+pub use sinw_server as server;
 pub use sinw_switch as switch;
