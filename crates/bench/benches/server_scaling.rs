@@ -81,14 +81,22 @@ fn bench(c: &mut Criterion) {
         // actually compiles (best-of-3 like every other bench).
         let (artifact, t_cold) = timed(&|| {
             let registry = CircuitRegistry::new();
-            registry.register_circuit(&name, circuit.clone())
+            registry
+                .register_circuit(&name, circuit.clone())
+                .expect("unbounded registry admits the artifact")
         });
 
         // Warm hit: one registry, pre-warmed; the measured closure does
         // hash + lookup only. The compile counter pins the contract.
         let registry = CircuitRegistry::new();
-        let warm = registry.register_circuit(&name, circuit.clone());
-        let (hit, t_hit) = timed(&|| registry.register_circuit(&name, circuit.clone()));
+        let warm = registry
+            .register_circuit(&name, circuit.clone())
+            .expect("unbounded registry admits the artifact");
+        let (hit, t_hit) = timed(&|| {
+            registry
+                .register_circuit(&name, circuit.clone())
+                .expect("warm hit")
+        });
         assert!(Arc::ptr_eq(&warm, &hit), "hit must share the warm Arc");
         assert_eq!(
             registry.stats().compiles,
@@ -114,7 +122,9 @@ fn bench(c: &mut Criterion) {
             &patterns,
             true,
         );
-        let compiled = registry.register_circuit(&name, circuit.clone());
+        let compiled = registry
+            .register_circuit(&name, circuit.clone())
+            .expect("warm hit");
         let engine = JobEngine::new(2);
         let (job_ok, t_job) = timed(&|| {
             let handle = engine.submit(JobSpec::FaultSim {
@@ -187,11 +197,21 @@ fn bench(c: &mut Criterion) {
     let width = widths.iter().copied().min().unwrap_or(4);
     let circuit = array_multiplier(width);
     let registry = CircuitRegistry::new();
-    let _warm = registry.register_circuit("crit", circuit.clone());
+    let _warm = registry
+        .register_circuit("crit", circuit.clone())
+        .expect("cold compile");
     c.bench_function("server/registry_hit", |b| {
-        b.iter(|| black_box(registry.register_circuit("crit", circuit.clone())));
+        b.iter(|| {
+            black_box(
+                registry
+                    .register_circuit("crit", circuit.clone())
+                    .expect("hit"),
+            )
+        });
     });
-    let artifact = registry.register_circuit("crit", circuit.clone());
+    let artifact = registry
+        .register_circuit("crit", circuit.clone())
+        .expect("hit");
     c.bench_function("server/snapshot_encode", |b| {
         b.iter(|| black_box(artifact.snapshot().encode()));
     });

@@ -1342,7 +1342,9 @@ pub fn service(fast: bool) -> ServiceResult {
             Source::Bench(text) => registry
                 .register_bench(&name, text)
                 .unwrap_or_else(|e| panic!("{name} must parse: {e}")),
-            Source::Built(circuit) => registry.register_circuit(&name, circuit.clone()),
+            Source::Built(circuit) => registry
+                .register_circuit(&name, circuit.clone())
+                .unwrap_or_else(|e| panic!("{name} must compile: {e}")),
         };
         let cold_compile_ms = t0.elapsed().as_secs_f64() * 1e3;
         let compiles_before_hit = registry.stats().compiles;
@@ -1352,7 +1354,9 @@ pub fn service(fast: bool) -> ServiceResult {
             Source::Bench(text) => registry
                 .register_bench(&name, text)
                 .expect("already parsed once"),
-            Source::Built(circuit) => registry.register_circuit(&name, circuit.clone()),
+            Source::Built(circuit) => registry
+                .register_circuit(&name, circuit.clone())
+                .expect("already compiled once"),
         };
         let hit_ms = t1.elapsed().as_secs_f64() * 1e3;
         assert!(

@@ -31,6 +31,29 @@
 //!   function of the input, so results are bit-identical to direct
 //!   serial engine calls no matter how chunks migrate between workers.
 //!
+//! A service that runs long enough meets every failure its parts can
+//! produce, so the crate also carries a **robustness layer**:
+//!
+//! * [`failpoint`] — a **deterministic fault-injection harness**: named
+//!   fail points threaded through compile, snapshot-I/O, and job-chunk
+//!   paths inject panics, I/O errors, and delays under seeded,
+//!   per-point triggers (configured in code or via the
+//!   `SINW_FAILPOINTS` environment variable), with a single relaxed
+//!   atomic load as the entire disabled-path cost.
+//! * [`jobs`] hardening — job bodies run under `catch_unwind` (a panic
+//!   becomes a typed [`JobOutcome::Failed`], never a dead worker),
+//!   workers that do die are respawned, and a per-job [`JobPolicy`]
+//!   adds deadlines ([`JobOutcome::TimedOut`]) and bounded
+//!   retry-with-backoff for transient faults.
+//! * [`store`] — the **crash-safe [`SnapshotStore`]**: atomic
+//!   temp-file + fsync + rename writes, a boot-time recovery scan that
+//!   quarantines corrupt files instead of panicking, and registry
+//!   warm-start with zero compiles.
+//! * [`registry`] capacity — a byte-accounted LRU bound
+//!   ([`CircuitRegistry::with_capacity_bytes`]) with typed
+//!   [`RegistryError`]s; eviction never invalidates an
+//!   [`Arc`](std::sync::Arc) already handed to a job.
+//!
 //! ```
 //! use sinw_server::registry::CircuitRegistry;
 //! use sinw_switch::iscas::CSA16_BENCH;
@@ -48,14 +71,25 @@
 //! [`CompiledCircuit`]: registry::CompiledCircuit
 //! [`SnapshotError`]: snapshot::SnapshotError
 //! [`JobEngine`]: jobs::JobEngine
+//! [`JobOutcome::Failed`]: jobs::JobOutcome::Failed
+//! [`JobOutcome::TimedOut`]: jobs::JobOutcome::TimedOut
+//! [`JobPolicy`]: jobs::JobPolicy
+//! [`SnapshotStore`]: store::SnapshotStore
+//! [`RegistryError`]: registry::RegistryError
+//! [`CircuitRegistry::with_capacity_bytes`]: registry::CircuitRegistry::with_capacity_bytes
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod failpoint;
 pub mod jobs;
 pub mod registry;
 pub mod snapshot;
+pub mod store;
 
-pub use jobs::{JobEngine, JobHandle, JobOutcome, JobProgress, JobSpec};
-pub use registry::{compile_circuit, CircuitRegistry, CompiledCircuit, RegistryStats};
+pub use jobs::{JobEngine, JobHandle, JobOutcome, JobPolicy, JobProgress, JobSpec};
+pub use registry::{
+    compile_circuit, CircuitRegistry, CompiledCircuit, RegistryError, RegistryStats,
+};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use store::{RecoveryReport, SnapshotStore, WarmStartReport};

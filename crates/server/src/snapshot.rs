@@ -121,8 +121,40 @@ pub enum SnapshotError {
         detail: String,
     },
     /// Filesystem failure in [`Snapshot::read_file`] /
-    /// [`Snapshot::write_file`].
-    Io(String),
+    /// [`Snapshot::write_file`] (anything but not-found, which is
+    /// [`SnapshotError::NotFound`]). Carries the offending path so store
+    /// recovery reports are actionable.
+    Io {
+        /// The path the failed operation touched.
+        path: String,
+        /// The OS error class.
+        kind: std::io::ErrorKind,
+        /// The OS error text.
+        detail: String,
+    },
+    /// The file (or its directory) does not exist — distinguished from
+    /// other I/O failures because "nothing saved yet" and "disk broke"
+    /// call for different responses.
+    NotFound {
+        /// The path that was not found.
+        path: String,
+    },
+}
+
+/// Map an OS error on `path` onto the typed snapshot error, splitting
+/// not-found from everything else.
+pub(crate) fn io_error(path: &std::path::Path, e: &std::io::Error) -> SnapshotError {
+    if e.kind() == std::io::ErrorKind::NotFound {
+        SnapshotError::NotFound {
+            path: path.display().to_string(),
+        }
+    } else {
+        SnapshotError::Io {
+            path: path.display().to_string(),
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -155,7 +187,10 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Malformed { context, detail } => {
                 write!(f, "malformed {context}: {detail}")
             }
-            SnapshotError::Io(e) => write!(f, "snapshot i/o: {e}"),
+            SnapshotError::Io { path, kind, detail } => {
+                write!(f, "snapshot i/o on {path} ({kind:?}): {detail}")
+            }
+            SnapshotError::NotFound { path } => write!(f, "snapshot not found: {path}"),
         }
     }
 }
@@ -270,6 +305,9 @@ impl Snapshot {
     /// workspace.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        // Panic / delay injection site; an `ioerr` arm is meaningless
+        // here (encoding is infallible) and is deliberately ignored.
+        let _ = crate::failpoint::hit("snapshot.encode");
         let mut payload = Vec::new();
         put_str(&mut payload, &self.name);
         put_circuit(&mut payload, &self.circuit);
@@ -334,6 +372,10 @@ impl Snapshot {
     /// Returns the typed [`SnapshotError`] describing the first problem
     /// found; see the module docs for the decode discipline.
     pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        crate::failpoint::hit("snapshot.decode").map_err(|e| SnapshotError::Malformed {
+            context: "fail point",
+            detail: e.to_string(),
+        })?;
         if bytes.len() < HEADER_LEN {
             return Err(SnapshotError::Truncated {
                 offset: 0,
@@ -404,27 +446,89 @@ impl Snapshot {
         })
     }
 
-    /// Encode and write to `path`.
+    /// Encode and write to `path` **atomically**: the bytes land in a
+    /// `.tmp` sibling first, are fsynced, and only then renamed over
+    /// `path` (followed by a directory fsync). A crash at any step
+    /// leaves either the old file or the new file — never a torn
+    /// mixture; at worst a `.tmp` orphan remains, which
+    /// [`SnapshotStore::open`](crate::store::SnapshotStore::open) sweeps
+    /// on the next boot.
     ///
     /// # Errors
     ///
-    /// Returns [`SnapshotError::Io`] on filesystem failure.
+    /// Returns [`SnapshotError::Io`] / [`SnapshotError::NotFound`] on
+    /// filesystem failure.
     pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
-        std::fs::write(path.as_ref(), self.encode())
-            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.as_ref().display())))
+        write_bytes_atomic(path.as_ref(), &self.encode())
     }
 
     /// Read and decode `path`.
     ///
     /// # Errors
     ///
-    /// Returns [`SnapshotError::Io`] on filesystem failure, else any
+    /// Returns [`SnapshotError::NotFound`] when the file does not exist,
+    /// [`SnapshotError::Io`] on any other filesystem failure, else any
     /// decode error of the file's contents.
     pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Self, SnapshotError> {
-        let bytes = std::fs::read(path.as_ref())
-            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.as_ref().display())))?;
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| io_error(path, &e))?;
+        crate::failpoint::hit("snapshot.read.io")
+            .map_err(|e| io_error(path, &std::io::Error::from(e)))?;
         Self::decode(&bytes)
     }
+}
+
+/// The atomic write protocol behind [`Snapshot::write_file`] and the
+/// [`SnapshotStore`](crate::store::SnapshotStore): temp sibling → fsync
+/// → rename → directory fsync. Fail points cover each step (see the
+/// [`failpoint`](crate::failpoint) catalog); an injected fault between
+/// fsync and rename deliberately leaves the temp file behind to simulate
+/// crash debris.
+pub(crate) fn write_bytes_atomic(
+    path: &std::path::Path,
+    bytes: &[u8],
+) -> Result<(), SnapshotError> {
+    use std::io::Write as _;
+
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| SnapshotError::Io {
+            path: path.display().to_string(),
+            kind: std::io::ErrorKind::InvalidInput,
+            detail: String::from("path has no usable file name"),
+        })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let tmp = dir.join(format!("{file_name}.{}.tmp", std::process::id()));
+
+    crate::failpoint::hit("snapshot.write.tmp")
+        .map_err(|e| io_error(&tmp, &std::io::Error::from(e)))?;
+    let mut file = std::fs::File::create(&tmp).map_err(|e| io_error(&tmp, &e))?;
+    file.write_all(bytes).map_err(|e| io_error(&tmp, &e))?;
+    if let Err(e) = crate::failpoint::hit("snapshot.write.fsync") {
+        // Fault before the data is durable: withdraw the temp file so a
+        // half-written artifact can never be mistaken for a snapshot.
+        drop(file);
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_error(&tmp, &std::io::Error::from(e)));
+    }
+    file.sync_all().map_err(|e| io_error(&tmp, &e))?;
+    drop(file);
+    // A fault here models a crash between making the temp durable and
+    // publishing it: the temp file is left behind on purpose, exactly
+    // the debris the store's recovery scan must sweep.
+    crate::failpoint::hit("snapshot.write.rename")
+        .map_err(|e| io_error(path, &std::io::Error::from(e)))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_error(path, &e))?;
+    if let Ok(d) = std::fs::File::open(&dir) {
+        // Make the rename itself durable. Failure here is not fatal to
+        // the data (the file content is already synced).
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -805,10 +909,41 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_io_error() {
-        assert!(matches!(
-            Snapshot::read_file("/nonexistent/definitely/not/here.sinw"),
-            Err(SnapshotError::Io(_))
-        ));
+    fn missing_file_is_not_found_with_the_path() {
+        match Snapshot::read_file("/nonexistent/definitely/not/here.sinw") {
+            Err(SnapshotError::NotFound { path }) => {
+                assert!(path.contains("here.sinw"), "path is carried: {path}");
+            }
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwritable_target_is_io_with_path_and_kind() {
+        let snap = c17_snapshot();
+        match snap.write_file("/proc/definitely-not-writable/x.sinw") {
+            Err(SnapshotError::Io { path, .. }) => {
+                assert!(path.contains("x.sinw"), "path is carried: {path}");
+            }
+            Err(SnapshotError::NotFound { path }) => {
+                assert!(path.contains("x.sinw"), "path is carried: {path}");
+            }
+            other => panic!("expected an i/o error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_file_leaves_no_temp_sibling_on_success() {
+        let dir = std::env::temp_dir().join("sinw_snapshot_atomic_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("c17.sinw");
+        c17_snapshot().write_file(&path).expect("write");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp debris after a clean write");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -76,7 +76,9 @@ fn distinct_circuits_race_without_cross_talk() {
                     } else {
                         (
                             "csel",
-                            registry.register_circuit("csel", carry_select_adder(8, 4)),
+                            registry
+                                .register_circuit("csel", carry_select_adder(8, 4))
+                                .unwrap(),
                         )
                     }
                 })

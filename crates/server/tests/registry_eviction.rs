@@ -1,0 +1,107 @@
+//! Property tests of the registry's byte-accounted LRU bound: random
+//! registration sequences against a random capacity must (a) never
+//! invalidate an `Arc` a caller is still holding — the "in-flight job"
+//! contract — and (b) keep `stats()` byte accounting exactly equal to
+//! the sum of the entries actually resident.
+
+use proptest::prelude::*;
+use sinw_atpg::faultsim::seeded_patterns;
+use sinw_atpg::simulate_faults;
+use sinw_server::registry::{CircuitRegistry, CompiledCircuit};
+use sinw_switch::gate::Circuit;
+use sinw_switch::generate::{array_multiplier, carry_select_adder};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A small family of structurally distinct circuits so registration
+/// sequences exercise real key diversity. Index range is the proptest
+/// input domain.
+fn build(index: usize) -> (String, Circuit) {
+    match index % 7 {
+        0 => (String::from("c17"), Circuit::c17()),
+        1 => (String::from("mul2"), array_multiplier(2)),
+        2 => (String::from("mul3"), array_multiplier(3)),
+        3 => (String::from("mul4"), array_multiplier(4)),
+        4 => (String::from("csel8"), carry_select_adder(8, 4)),
+        5 => (String::from("csel12"), carry_select_adder(12, 4)),
+        _ => (String::from("csel16"), carry_select_adder(16, 4)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under arbitrary registration churn against a tight capacity:
+    /// every `Arc` handed out stays fully usable after any amount of
+    /// eviction (simulating with it still works), and the byte account
+    /// in `stats()` equals the sum of `approx_bytes()` over exactly the
+    /// resident entries.
+    #[test]
+    fn eviction_never_invalidates_held_arcs_and_the_account_balances(
+        sequence in proptest::collection::vec(0usize..7, 1..24),
+        capacity_kib in 1usize..96,
+    ) {
+        let registry = CircuitRegistry::with_capacity_bytes(capacity_kib * 1024);
+        let mut held: Vec<Arc<CompiledCircuit>> = Vec::new();
+
+        for &index in &sequence {
+            let (name, circuit) = build(index);
+            match registry.register_circuit(&name, circuit) {
+                Ok(artifact) => held.push(artifact),
+                Err(e) => {
+                    // The only admissible refusal is an artifact larger
+                    // than the whole capacity.
+                    let msg = e.to_string();
+                    prop_assert!(msg.contains("exceeds the registry capacity"), "{}", msg);
+                }
+            }
+        }
+
+        // (a) Every Arc handed out survives all subsequent eviction:
+        // its data is intact and still simulates.
+        for artifact in &held {
+            let n_pi = artifact.circuit().primary_inputs().len();
+            let patterns = seeded_patterns(n_pi, 4, 0xA5A5_5A5A_F0F0_0F0F);
+            let report = simulate_faults(
+                artifact.circuit(),
+                &artifact.collapsed().representatives,
+                &patterns,
+                true,
+            );
+            prop_assert_eq!(
+                report.detected.len() + report.undetected.len(),
+                artifact.collapsed().representatives.len(),
+                "a held artifact must stay fully simulatable after eviction"
+            );
+        }
+
+        // (b) The byte account matches the resident set exactly. `get`
+        // by key tells us which of our artifacts are still resident
+        // (keys are content-derived, so duplicates in the sequence map
+        // to one entry).
+        let mut resident: BTreeMap<u64, usize> = BTreeMap::new();
+        for artifact in &held {
+            if let Some(got) = registry.get(artifact.key()) {
+                resident.insert(got.key(), got.approx_bytes());
+            }
+        }
+        let stats = registry.stats();
+        prop_assert_eq!(stats.entries, resident.len(),
+            "every resident entry must be reachable by its key");
+        prop_assert_eq!(stats.bytes, resident.values().sum::<usize>(),
+            "byte account must equal the sum over resident entries");
+        prop_assert!(stats.bytes <= stats.capacity,
+            "the account must never exceed capacity ({} > {})",
+            stats.bytes, stats.capacity);
+
+        // Eviction bookkeeping is consistent: evictions happened iff
+        // something no longer resides.
+        let distinct_admitted: BTreeMap<u64, ()> =
+            held.iter().map(|a| (a.key(), ())).collect();
+        prop_assert!(resident.len() <= distinct_admitted.len());
+        if stats.evictions == 0 {
+            prop_assert_eq!(resident.len(), distinct_admitted.len(),
+                "no evictions means every admitted artifact is still resident");
+        }
+    }
+}
