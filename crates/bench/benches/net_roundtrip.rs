@@ -1,0 +1,227 @@
+//! Wire-layer overhead curve: frame codec throughput and the loopback
+//! TCP round-trip cost of the service protocol against the in-process
+//! job-engine path it wraps.
+//!
+//! Per multiplier width the run measures: the cold registration over
+//! the wire (frame decode + compile + frame encode), the warm
+//! re-registration (the compile skipped — wire overhead alone), one
+//! fault-sim job submitted and awaited over TCP, and the same job
+//! through an in-process `JobEngine` — both asserted bit-identical to
+//! the direct serial call, so the bench is also an identity test.
+//!
+//! Knobs (environment variables):
+//!
+//! * `SINW_NET_WIDTHS` — comma-separated multiplier operand widths
+//!   (default `8,16,32` measuring, `4` smoke);
+//! * `SINW_NET_PATTERNS` — pattern count per job (default 64
+//!   measuring, 16 smoke);
+//! * `SINW_BENCH_JSON` — where to write the machine-readable results
+//!   (default `BENCH_net.json` in the working directory).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sinw_atpg::faultsim::{seeded_patterns, simulate_faults};
+use sinw_bench::{env_usize, env_usize_list, write_bench_json};
+use sinw_server::jobs::{JobEngine, JobSpec};
+use sinw_server::net::{NetClient, NetConfig, NetServer};
+use sinw_server::registry::compile_circuit;
+use sinw_server::wire::{self, Request, WireJob, WireOutcome};
+use sinw_switch::generate::array_multiplier;
+use sinw_switch::iscas::{parse_bench, to_bench};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Best-of-3 wall clock (same damping as the other scaling benches).
+fn timed<R>(f: &dyn Fn() -> R) -> (R, Duration) {
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed());
+        result = Some(r);
+    }
+    (result.expect("three runs"), best)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn bench(c: &mut Criterion) {
+    let measuring = std::env::args().any(|a| a == "--bench");
+    let widths = env_usize_list(
+        "SINW_NET_WIDTHS",
+        if measuring { &[8, 16, 32] } else { &[4] },
+    );
+    let n_patterns = env_usize("SINW_NET_PATTERNS", if measuring { 64 } else { 16 });
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!(
+        "\nWire-layer round trips: widths {widths:?}, {n_patterns} patterns, {cores} hw threads"
+    );
+
+    // Frame codec throughput on a protocol-realistic payload: a
+    // SubmitJob request carrying the full pattern block.
+    let codec_patterns = seeded_patterns(64, 256, 0xC0DEC);
+    let codec_request = Request::SubmitJob(WireJob::FaultSim {
+        key: 0x0123_4567_89AB_CDEF,
+        patterns: codec_patterns,
+        drop_detected: true,
+        threads: 4,
+        timeout_ms: 30_000,
+    });
+    let (codec_ty, codec_payload) = codec_request.encode();
+    let frame = wire::encode_frame(codec_ty, &codec_payload);
+    let reps = if measuring { 2000 } else { 200 };
+    let (_, t_encode) = timed(&|| {
+        for _ in 0..reps {
+            let (ty, payload) = codec_request.encode();
+            black_box(wire::encode_frame(ty, &payload));
+        }
+    });
+    let (_, t_decode) = timed(&|| {
+        for _ in 0..reps {
+            let (ty, payload) =
+                wire::decode_frame(&frame, wire::DEFAULT_MAX_PAYLOAD).expect("own frame");
+            black_box(Request::decode(ty, &payload).expect("own request"));
+        }
+    });
+    let mib = (frame.len() * reps) as f64 / (1024.0 * 1024.0);
+    let enc_tp = mib / t_encode.as_secs_f64();
+    let dec_tp = mib / t_decode.as_secs_f64();
+    println!(
+        "  frame codec ({} B frames): encode {enc_tp:>8.0} MiB/s   decode {dec_tp:>8.0} MiB/s",
+        frame.len()
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for &width in &widths {
+        let name = format!("mul{width}");
+        let source = to_bench(&array_multiplier(width), &name);
+        let circuit = parse_bench(&source).expect("exported bench parses");
+        let compiled = Arc::new(compile_circuit(&name, circuit));
+        let patterns = Arc::new(seeded_patterns(
+            compiled.circuit().primary_inputs().len(),
+            n_patterns,
+            0x9E37_79B9_97F4_A7C1,
+        ));
+        let reference = WireOutcome::from_fault_sim(&simulate_faults(
+            compiled.circuit(),
+            &compiled.collapsed().representatives,
+            &patterns,
+            true,
+        ));
+
+        // In-process baseline: the engine path the wire wraps.
+        let engine = JobEngine::new(2);
+        let (in_process, t_direct) = timed(&|| {
+            let handle = engine.submit(JobSpec::FaultSim {
+                compiled: Arc::clone(&compiled),
+                patterns: Arc::clone(&patterns),
+                drop_detected: true,
+                threads: 2,
+            });
+            WireOutcome::from_outcome(&handle.wait())
+        });
+        assert_eq!(in_process, reference, "{name}: in-process path diverged");
+        engine.shutdown();
+
+        // The same work over loopback TCP. Cold registration compiles;
+        // the fresh-connection re-registration measures pure wire +
+        // lookup overhead.
+        let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        // `timed` takes a `Fn`; the client needs `&mut self`, so it
+        // rides in a `RefCell`.
+        let client = std::cell::RefCell::new(NetClient::connect(addr).expect("connect"));
+        // The first registration is the only cold one (repeats hit the
+        // cache), so it is timed as a single shot, not best-of-3.
+        let t0 = Instant::now();
+        let (key, _) = client
+            .borrow_mut()
+            .register_bench(&name, &source)
+            .expect("register");
+        let t_cold = t0.elapsed();
+        let (_, t_warm) = timed(&|| {
+            client
+                .borrow_mut()
+                .register_bench(&name, &source)
+                .expect("warm")
+        });
+        assert_eq!(
+            server.registry().stats().compiles,
+            1,
+            "{name}: warm recompiled"
+        );
+        let (wire_outcome, t_wire) = timed(&|| {
+            let mut client = client.borrow_mut();
+            let job = client
+                .submit(WireJob::FaultSim {
+                    key,
+                    patterns: patterns.as_ref().clone(),
+                    drop_detected: true,
+                    threads: 2,
+                    timeout_ms: 120_000,
+                })
+                .expect("submit");
+            client.await_job(job, |_, _| {}).expect("await")
+        });
+        assert_eq!(wire_outcome, reference, "{name}: wire path diverged");
+        server.shutdown();
+
+        let overhead_ms = ms(t_wire) - ms(t_direct);
+        println!(
+            "  {name}: direct {:>8.2} ms   wire {:>8.2} ms (+{overhead_ms:>6.2} ms)   \
+             register cold {:>8.2} ms warm {:>7.3} ms",
+            ms(t_direct),
+            ms(t_wire),
+            ms(t_cold),
+            ms(t_warm),
+        );
+        rows.push(format!(
+            "    {{\"circuit\": \"{name}\", \"width\": {width}, \"direct_ms\": {:.3}, \
+             \"wire_ms\": {:.3}, \"overhead_ms\": {overhead_ms:.3}, \
+             \"register_cold_ms\": {:.3}, \"register_warm_ms\": {:.4}}}",
+            ms(t_direct),
+            ms(t_wire),
+            ms(t_cold),
+            ms(t_warm),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"net_roundtrip\",\n  \"hw_threads\": {cores},\n  \
+         \"patterns\": {n_patterns},\n  \"frame_bytes\": {},\n  \
+         \"frame_encode_mib_s\": {enc_tp:.0},\n  \"frame_decode_mib_s\": {dec_tp:.0},\n  \
+         \"curve\": [\n{}\n  ]\n}}\n",
+        frame.len(),
+        rows.join(",\n")
+    );
+    write_bench_json("BENCH_net.json", &json);
+
+    // Criterion statistics on the codec and the smallest loopback echo.
+    c.bench_function("net/frame_encode", |b| {
+        b.iter(|| black_box(wire::encode_frame(codec_ty, &codec_payload)));
+    });
+    c.bench_function("net/frame_decode", |b| {
+        b.iter(|| {
+            let (ty, payload) =
+                wire::decode_frame(&frame, wire::DEFAULT_MAX_PAYLOAD).expect("own frame");
+            black_box(Request::decode(ty, &payload).expect("own request"))
+        });
+    });
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    c.bench_function("net/loopback_stats", |b| {
+        b.iter(|| black_box(client.stats().expect("stats")));
+    });
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -63,6 +63,10 @@
 //! | `snapshot.write.fsync` | between temp write and fsync | ioerr (temp removed, target intact), delay |
 //! | `snapshot.write.rename` | between fsync and the atomic rename | ioerr (temp **left behind** — simulated crash debris), delay |
 //! | `store.scan.read` | per file during the recovery scan | ioerr (file is quarantined), delay |
+//! | `net.accept` | per accepted TCP connection | ioerr (connection dropped before a handler spawns), delay |
+//! | `net.frame.read` | before every frame read in a connection handler | ioerr (best-effort error frame, connection closes), delay |
+//! | `net.frame.write` | before every response frame write | ioerr (write fails, connection closes), delay |
+//! | `net.progress.poll` | every poll of a streamed `AwaitJob` | delay (stretches the stream cadence); ioerr ignored (poll retried) |
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,1576 @@
+//! The `.sinw` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message on a service connection is one **frame** — a fixed
+//! 24-byte header followed by a checksummed payload, in the same idiom
+//! as the `.sinw` snapshot container header:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `b"SINP"` |
+//! | 4      | 2    | protocol version (little-endian) |
+//! | 6      | 2    | frame type (little-endian) |
+//! | 8      | 8    | payload length (little-endian) |
+//! | 16     | 8    | FNV-1a 64 checksum of the payload |
+//!
+//! Request frame types occupy `0x01..=0x7F`, response types
+//! `0x80..=0xFF`; the concrete catalog lives in [`frame_type`]. All
+//! multi-byte integers are little-endian. Patterns travel as one byte
+//! per bit, strictly `0` or `1`.
+//!
+//! Decoding is **total**: any byte string — truncated, bit-flipped,
+//! hostile lengths, fuzz soup — produces a typed [`WireError`], never a
+//! panic and never an allocation the input's own length does not
+//! justify. Payload lengths are capped *before* any allocation
+//! ([`WireError::Oversized`]), every element count is bounds-checked
+//! against the bytes that remain, and a payload that decodes but leaves
+//! bytes unread is rejected ([`WireError::TrailingBytes`]).
+
+use std::io::{Read, Write};
+
+use sinw_atpg::faultsim::{FaultSimReport, SignatureMatrix};
+use sinw_atpg::tpg::AtpgReport;
+
+use crate::jobs::JobOutcome;
+
+/// The four magic bytes every wire frame starts with (`.sinw`
+/// **p**rotocol — one letter off the snapshot container's `SINW`).
+pub const WIRE_MAGIC: [u8; 4] = *b"SINP";
+
+/// The current protocol version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame header size in bytes.
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// Default cap on a single frame's payload (64 MiB) — the bound
+/// [`read_frame`] enforces before allocating.
+pub const DEFAULT_MAX_PAYLOAD: u64 = 64 * 1024 * 1024;
+
+/// FNV-1a 64 over the payload — same checksum as the `.sinw` container.
+#[must_use]
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in payload {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Frame type codes. Requests are `0x01..=0x7F`, responses
+/// `0x80..=0xFF`.
+pub mod frame_type {
+    /// Register a `.bench` source text (name + source).
+    pub const REGISTER_BENCH: u16 = 0x01;
+    /// Register a pre-compiled `.sinw` snapshot byte string.
+    pub const REGISTER_SNAPSHOT: u16 = 0x02;
+    /// Submit a job against a registered circuit key.
+    pub const SUBMIT_JOB: u16 = 0x03;
+    /// Poll one job's progress counters.
+    pub const JOB_PROGRESS: u16 = 0x04;
+    /// Cooperatively cancel one job.
+    pub const CANCEL_JOB: u16 = 0x05;
+    /// Block on one job, streaming progress frames until the outcome.
+    pub const AWAIT_JOB: u16 = 0x06;
+    /// Fetch the `.sinw` snapshot bytes of a registered circuit.
+    pub const FETCH_SNAPSHOT: u16 = 0x07;
+    /// Fetch server-side registry/session counters.
+    pub const STATS: u16 = 0x08;
+
+    /// A circuit was registered (key + approximate resident bytes).
+    pub const REGISTERED: u16 = 0x81;
+    /// A job was accepted (job id).
+    pub const SUBMITTED: u16 = 0x82;
+    /// One progress observation of a job.
+    pub const PROGRESS: u16 = 0x83;
+    /// A job's terminal outcome.
+    pub const OUTCOME: u16 = 0x84;
+    /// Raw `.sinw` snapshot bytes.
+    pub const SNAPSHOT_BYTES: u16 = 0x85;
+    /// Server counters.
+    pub const STATS_REPORT: u16 = 0x86;
+    /// A typed error (code + message).
+    pub const ERROR: u16 = 0x8F;
+}
+
+/// Typed wire failure. Every malformed frame or payload maps onto one
+/// of these — wire decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream or buffer ended before a read completed.
+    Truncated {
+        /// Byte offset of the failed read (frame-relative).
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that remained.
+        available: usize,
+    },
+    /// The first four bytes are not [`WIRE_MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The version field names a protocol this build does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// The frame type is not in the catalog (or a request arrived where
+    /// a response was expected, and vice versa).
+    UnknownFrameType {
+        /// The type code found.
+        found: u16,
+    },
+    /// The header declares a payload larger than the configured cap —
+    /// rejected before any allocation.
+    Oversized {
+        /// Declared payload length.
+        declared: u64,
+        /// The configured cap.
+        max: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum declared in the header.
+        declared: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// The buffer holds more bytes than header + declared payload, or a
+    /// payload decoded without consuming every byte.
+    TrailingBytes {
+        /// How many bytes too many.
+        extra: usize,
+    },
+    /// A structurally invalid payload: bad tag, bad bool byte,
+    /// non-UTF-8 string, inconsistent geometry.
+    Malformed {
+        /// Which field was being decoded.
+        context: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The underlying socket failed (or an injected `net.*` fail point
+    /// fired).
+    Io {
+        /// The OS error class.
+        kind: std::io::ErrorKind,
+        /// The OS error text.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated {
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "frame truncated at offset {offset}: needed {needed} bytes, {available} available"
+            ),
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?} (expected {WIRE_MAGIC:02x?})")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported protocol version {found} (speaking {WIRE_VERSION})")
+            }
+            WireError::UnknownFrameType { found } => {
+                write!(f, "unknown frame type {found:#06x}")
+            }
+            WireError::Oversized { declared, max } => {
+                write!(f, "declared payload of {declared} bytes exceeds the {max}-byte cap")
+            }
+            WireError::ChecksumMismatch { declared, computed } => write!(
+                f,
+                "payload checksum mismatch: header declares {declared:#018x}, payload hashes to {computed:#018x}"
+            ),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the frame payload")
+            }
+            WireError::Malformed { context, detail } => {
+                write!(f, "malformed {context}: {detail}")
+            }
+            WireError::Io { kind, detail } => write!(f, "socket error ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// One observation from [`read_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete, checksum-verified frame.
+    Frame {
+        /// The header's frame-type code (not yet validated against the
+        /// catalog — [`Request::decode`] / [`Response::decode`] do
+        /// that).
+        frame_type: u16,
+        /// The verified payload.
+        payload: Vec<u8>,
+    },
+    /// The peer closed the connection cleanly (EOF on a frame
+    /// boundary).
+    Closed,
+    /// A read timeout expired with no frame bytes pending — the
+    /// connection is idle, not broken.
+    Idle,
+}
+
+/// Encode one complete frame (header + payload) into a byte string.
+#[must_use]
+pub fn encode_frame(frame_type: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&frame_type.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate a 24-byte header. Returns `(frame_type, payload_len,
+/// declared_checksum)`.
+fn parse_header(
+    header: &[u8; FRAME_HEADER_LEN],
+    max_payload: u64,
+) -> Result<(u16, u64, u64), WireError> {
+    if header[0..4] != WIRE_MAGIC {
+        return Err(WireError::BadMagic {
+            found: [header[0], header[1], header[2], header[3]],
+        });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let frame_type = u16::from_le_bytes([header[6], header[7]]);
+    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    if len > max_payload {
+        return Err(WireError::Oversized {
+            declared: len,
+            max: max_payload,
+        });
+    }
+    let declared = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    Ok((frame_type, len, declared))
+}
+
+/// Read one frame from `r`, enforcing `max_payload` before allocating.
+///
+/// EOF on a frame boundary is [`FrameEvent::Closed`]; a read timeout
+/// (`WouldBlock` / `TimedOut`) with no frame bytes pending is
+/// [`FrameEvent::Idle`]; EOF or a timeout *mid-frame* is
+/// [`WireError::Truncated`] — the stream can no longer be resynchronized.
+///
+/// # Errors
+///
+/// Any framing violation or socket failure maps to a typed
+/// [`WireError`]; this function never panics.
+pub fn read_frame(r: &mut impl Read, max_payload: u64) -> Result<FrameEvent, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < FRAME_HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameEvent::Closed),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    offset: filled,
+                    needed: FRAME_HEADER_LEN - filled,
+                    available: 0,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(FrameEvent::Idle)
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (frame_type, declared_len, declared) = parse_header(&header, max_payload)?;
+    let len = usize::try_from(declared_len).map_err(|_| WireError::Oversized {
+        declared: declared_len,
+        max: max_payload,
+    })?;
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    offset: FRAME_HEADER_LEN + got,
+                    needed: len - got,
+                    available: 0,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A timeout mid-frame: the peer stalled with a frame half
+                // sent. Treated as truncation — the stream cannot be
+                // resynchronized from here.
+                return Err(WireError::Truncated {
+                    offset: FRAME_HEADER_LEN + got,
+                    needed: len - got,
+                    available: got,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let computed = checksum(&payload);
+    if computed != declared {
+        return Err(WireError::ChecksumMismatch { declared, computed });
+    }
+    Ok(FrameEvent::Frame {
+        frame_type,
+        payload,
+    })
+}
+
+/// Decode exactly one frame from an in-memory buffer. Unlike
+/// [`read_frame`] this rejects trailing bytes after the payload —
+/// the adversarial battery's strict single-frame oracle.
+///
+/// # Errors
+///
+/// Any framing violation maps to a typed [`WireError`]; never panics.
+pub fn decode_frame(bytes: &[u8], max_payload: u64) -> Result<(u16, Vec<u8>), WireError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(WireError::Truncated {
+            offset: 0,
+            needed: FRAME_HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    let header: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().expect("checked");
+    let (frame_type, declared_len, declared) = parse_header(&header, max_payload)?;
+    let len = usize::try_from(declared_len).map_err(|_| WireError::Oversized {
+        declared: declared_len,
+        max: max_payload,
+    })?;
+    let body = &bytes[FRAME_HEADER_LEN..];
+    if body.len() < len {
+        return Err(WireError::Truncated {
+            offset: FRAME_HEADER_LEN,
+            needed: len,
+            available: body.len(),
+        });
+    }
+    if body.len() > len {
+        return Err(WireError::TrailingBytes {
+            extra: body.len() - len,
+        });
+    }
+    let computed = checksum(body);
+    if computed != declared {
+        return Err(WireError::ChecksumMismatch { declared, computed });
+    }
+    Ok((frame_type, body.to_vec()))
+}
+
+/// Write one frame to `w` (header + payload, then flush).
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] when the underlying write or flush fails.
+pub fn write_frame(w: &mut impl Write, frame_type: u16, payload: &[u8]) -> Result<(), WireError> {
+    let frame = encode_frame(frame_type, payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a count that the format addresses with `u32`.
+///
+/// Panics if `v` exceeds `u32::MAX` — beyond the protocol's addressing
+/// and orders of magnitude beyond any workload in the workspace.
+fn put_count(out: &mut Vec<u8>, v: usize, what: &str) {
+    let v = u32::try_from(v).unwrap_or_else(|_| panic!("{what} count {v} exceeds u32"));
+    put_u32(out, v);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_count(out, s.len(), "string byte");
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+/// Encode a uniform-width pattern set: count, width, then one byte per
+/// bit. Panics if the rows are not all the same width (primary-input
+/// patterns always are).
+fn put_patterns(out: &mut Vec<u8>, patterns: &[Vec<bool>]) {
+    let width = patterns.first().map_or(0, Vec::len);
+    put_count(out, patterns.len(), "pattern");
+    put_count(out, width, "pattern width");
+    for p in patterns {
+        assert_eq!(p.len(), width, "wire patterns must be uniform width");
+        for &bit in p {
+            put_bool(out, bit);
+        }
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, values: &[u64], what: &str) {
+    put_count(out, values.len(), what);
+    for &v in values {
+        put_u64(out, v);
+    }
+}
+
+fn put_indices(out: &mut Vec<u8>, values: &[usize], what: &str) {
+    put_count(out, values.len(), what);
+    for &v in values {
+        put_u64(out, v as u64);
+    }
+}
+
+/// Bounds-checked payload cursor — the same total-decoding idiom as the
+/// `.sinw` snapshot reader, producing [`WireError`]s.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn bool(&mut self, context: &'static str) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Malformed {
+                context,
+                detail: format!("bool byte must be 0 or 1, got {other}"),
+            }),
+        }
+    }
+
+    /// Read a `u32` element count and bounds-check `count *
+    /// min_elem_bytes` against the remaining payload *before* the caller
+    /// allocates anything — hostile counts die here.
+    fn count(&mut self, context: &'static str, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let b = self.take(4)?;
+        let n = u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize;
+        let needed = n
+            .checked_mul(min_elem_bytes.max(1))
+            .ok_or_else(|| WireError::Malformed {
+                context,
+                detail: format!("count {n} overflows the address space"),
+            })?;
+        if needed > self.remaining() {
+            return Err(WireError::Truncated {
+                offset: self.pos,
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, context: &'static str) -> Result<String, WireError> {
+        let n = self.count(context, 1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| WireError::Malformed {
+            context,
+            detail: format!("invalid UTF-8: {e}"),
+        })
+    }
+
+    fn u64s(&mut self, context: &'static str) -> Result<Vec<u64>, WireError> {
+        let n = self.count(context, 8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn indices(&mut self, context: &'static str) -> Result<Vec<usize>, WireError> {
+        let n = self.count(context, 8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()? as usize);
+        }
+        Ok(out)
+    }
+
+    fn patterns(&mut self, context: &'static str) -> Result<Vec<Vec<bool>>, WireError> {
+        let n = self.count(context, 0)?;
+        let width_bytes = self.take(4)?;
+        let width = u32::from_le_bytes(width_bytes.try_into().expect("4 bytes")) as usize;
+        let total = n.checked_mul(width).ok_or_else(|| WireError::Malformed {
+            context,
+            detail: format!("{n} patterns x {width} bits overflows"),
+        })?;
+        if total > self.remaining() {
+            return Err(WireError::Truncated {
+                offset: self.pos,
+                needed: total,
+                available: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(width);
+            for _ in 0..width {
+                row.push(self.bool(context)?);
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// The rest of the payload as raw bytes (always consumes to the
+    /// end).
+    fn rest(&mut self) -> Vec<u8> {
+        let out = self.bytes[self.pos..].to_vec();
+        self.pos = self.bytes.len();
+        out
+    }
+
+    /// Reject unread payload bytes.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::TrailingBytes {
+                extra: self.bytes.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A job specification as it travels on the wire: the circuit is named
+/// by its registry **key**, patterns travel inline, and a timeout in
+/// milliseconds (0 = none) becomes a server-side
+/// [`JobPolicy`](crate::jobs::JobPolicy) deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireJob {
+    /// PPSFP fault simulation against inline patterns.
+    FaultSim {
+        /// Registry key of the compiled circuit.
+        key: u64,
+        /// Patterns, one `bool` per primary input each.
+        patterns: Vec<Vec<bool>>,
+        /// Drop faults after first detection.
+        drop_detected: bool,
+        /// Intra-job worker threads (clamped server-side to ≥ 1).
+        threads: u32,
+        /// Deadline in milliseconds; 0 means none.
+        timeout_ms: u64,
+    },
+    /// Full signature capture against inline patterns.
+    Signatures {
+        /// Registry key of the compiled circuit.
+        key: u64,
+        /// Patterns, one `bool` per primary input each.
+        patterns: Vec<Vec<bool>>,
+        /// Intra-job worker threads (clamped server-side to ≥ 1).
+        threads: u32,
+        /// Deadline in milliseconds; 0 means none.
+        timeout_ms: u64,
+    },
+    /// A full ATPG campaign under the default configuration with the
+    /// given seed.
+    Campaign {
+        /// Registry key of the compiled circuit.
+        key: u64,
+        /// Seed of the campaign's random phase.
+        seed: u64,
+        /// Deadline in milliseconds; 0 means none.
+        timeout_ms: u64,
+    },
+}
+
+const JOB_TAG_FAULTSIM: u8 = 1;
+const JOB_TAG_SIGNATURES: u8 = 2;
+const JOB_TAG_CAMPAIGN: u8 = 3;
+
+impl WireJob {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WireJob::FaultSim {
+                key,
+                patterns,
+                drop_detected,
+                threads,
+                timeout_ms,
+            } => {
+                out.push(JOB_TAG_FAULTSIM);
+                put_u64(out, *key);
+                put_bool(out, *drop_detected);
+                put_u32(out, *threads);
+                put_u64(out, *timeout_ms);
+                put_patterns(out, patterns);
+            }
+            WireJob::Signatures {
+                key,
+                patterns,
+                threads,
+                timeout_ms,
+            } => {
+                out.push(JOB_TAG_SIGNATURES);
+                put_u64(out, *key);
+                put_u32(out, *threads);
+                put_u64(out, *timeout_ms);
+                put_patterns(out, patterns);
+            }
+            WireJob::Campaign {
+                key,
+                seed,
+                timeout_ms,
+            } => {
+                out.push(JOB_TAG_CAMPAIGN);
+                put_u64(out, *key);
+                put_u64(out, *seed);
+                put_u64(out, *timeout_ms);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            JOB_TAG_FAULTSIM => {
+                let key = r.u64()?;
+                let drop_detected = r.bool("job drop_detected")?;
+                let threads = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+                let timeout_ms = r.u64()?;
+                let patterns = r.patterns("job patterns")?;
+                Ok(WireJob::FaultSim {
+                    key,
+                    patterns,
+                    drop_detected,
+                    threads,
+                    timeout_ms,
+                })
+            }
+            JOB_TAG_SIGNATURES => {
+                let key = r.u64()?;
+                let threads = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+                let timeout_ms = r.u64()?;
+                let patterns = r.patterns("job patterns")?;
+                Ok(WireJob::Signatures {
+                    key,
+                    patterns,
+                    threads,
+                    timeout_ms,
+                })
+            }
+            JOB_TAG_CAMPAIGN => {
+                let key = r.u64()?;
+                let seed = r.u64()?;
+                let timeout_ms = r.u64()?;
+                Ok(WireJob::Campaign {
+                    key,
+                    seed,
+                    timeout_ms,
+                })
+            }
+            other => Err(WireError::Malformed {
+                context: "job tag",
+                detail: format!("unknown job tag {other}"),
+            }),
+        }
+    }
+}
+
+/// A client request, one frame each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Register a `.bench` source text.
+    RegisterBench {
+        /// Circuit label.
+        name: String,
+        /// The `.bench` source.
+        source: String,
+    },
+    /// Register a pre-compiled `.sinw` snapshot.
+    RegisterSnapshot {
+        /// The raw `.sinw` container bytes.
+        bytes: Vec<u8>,
+    },
+    /// Submit a job.
+    SubmitJob(WireJob),
+    /// Poll a job's progress counters.
+    JobProgress {
+        /// Id from [`Response::Submitted`].
+        job: u64,
+    },
+    /// Cancel a job.
+    CancelJob {
+        /// Id from [`Response::Submitted`].
+        job: u64,
+    },
+    /// Block on a job; the server streams [`Response::Progress`] frames
+    /// until the [`Response::Outcome`].
+    AwaitJob {
+        /// Id from [`Response::Submitted`].
+        job: u64,
+    },
+    /// Fetch the `.sinw` snapshot of a registered circuit.
+    FetchSnapshot {
+        /// Registry key.
+        key: u64,
+    },
+    /// Fetch server counters.
+    Stats,
+}
+
+impl Request {
+    /// Encode into `(frame_type, payload)`, ready for [`write_frame`].
+    #[must_use]
+    pub fn encode(&self) -> (u16, Vec<u8>) {
+        let mut out = Vec::new();
+        let ty = match self {
+            Request::RegisterBench { name, source } => {
+                put_str(&mut out, name);
+                put_str(&mut out, source);
+                frame_type::REGISTER_BENCH
+            }
+            Request::RegisterSnapshot { bytes } => {
+                out.extend_from_slice(bytes);
+                frame_type::REGISTER_SNAPSHOT
+            }
+            Request::SubmitJob(job) => {
+                job.encode_into(&mut out);
+                frame_type::SUBMIT_JOB
+            }
+            Request::JobProgress { job } => {
+                put_u64(&mut out, *job);
+                frame_type::JOB_PROGRESS
+            }
+            Request::CancelJob { job } => {
+                put_u64(&mut out, *job);
+                frame_type::CANCEL_JOB
+            }
+            Request::AwaitJob { job } => {
+                put_u64(&mut out, *job);
+                frame_type::AWAIT_JOB
+            }
+            Request::FetchSnapshot { key } => {
+                put_u64(&mut out, *key);
+                frame_type::FETCH_SNAPSHOT
+            }
+            Request::Stats => frame_type::STATS,
+        };
+        (ty, out)
+    }
+
+    /// Decode a request payload. Total: every malformed payload is a
+    /// typed [`WireError`], and the payload must be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownFrameType`] when `ty` is not a request code;
+    /// otherwise the typed decode failure.
+    pub fn decode(ty: u16, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match ty {
+            frame_type::REGISTER_BENCH => Request::RegisterBench {
+                name: r.str("bench name")?,
+                source: r.str("bench source")?,
+            },
+            frame_type::REGISTER_SNAPSHOT => Request::RegisterSnapshot { bytes: r.rest() },
+            frame_type::SUBMIT_JOB => Request::SubmitJob(WireJob::decode_from(&mut r)?),
+            frame_type::JOB_PROGRESS => Request::JobProgress { job: r.u64()? },
+            frame_type::CANCEL_JOB => Request::CancelJob { job: r.u64()? },
+            frame_type::AWAIT_JOB => Request::AwaitJob { job: r.u64()? },
+            frame_type::FETCH_SNAPSHOT => Request::FetchSnapshot { key: r.u64()? },
+            frame_type::STATS => Request::Stats,
+            other => return Err(WireError::UnknownFrameType { found: other }),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Typed server-side error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame or payload failed to decode.
+    BadFrame,
+    /// The frame decoded but its type is not a request this server
+    /// serves.
+    UnknownRequest,
+    /// The `.bench` source failed to parse.
+    Parse,
+    /// The compile pipeline failed (or panicked) on the source.
+    CompileFailed,
+    /// The artifact exceeds the registry's byte capacity.
+    Oversized,
+    /// The session's cumulative register-byte quota is exhausted.
+    ByteQuota,
+    /// The session's in-flight job quota is exhausted.
+    JobQuota,
+    /// The job id names no job of this session.
+    UnknownJob,
+    /// The key names no registered circuit.
+    UnknownKey,
+    /// The uploaded `.sinw` snapshot failed to decode.
+    SnapshotRejected,
+    /// The server is draining: in-flight work finishes, new work is
+    /// refused.
+    Draining,
+}
+
+impl ErrorCode {
+    /// The on-wire code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::UnknownRequest => 2,
+            ErrorCode::Parse => 3,
+            ErrorCode::CompileFailed => 4,
+            ErrorCode::Oversized => 5,
+            ErrorCode::ByteQuota => 6,
+            ErrorCode::JobQuota => 7,
+            ErrorCode::UnknownJob => 8,
+            ErrorCode::UnknownKey => 9,
+            ErrorCode::SnapshotRejected => 10,
+            ErrorCode::Draining => 11,
+        }
+    }
+
+    /// Inverse of [`code`](ErrorCode::code).
+    #[must_use]
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnknownRequest,
+            3 => ErrorCode::Parse,
+            4 => ErrorCode::CompileFailed,
+            5 => ErrorCode::Oversized,
+            6 => ErrorCode::ByteQuota,
+            7 => ErrorCode::JobQuota,
+            8 => ErrorCode::UnknownJob,
+            9 => ErrorCode::UnknownKey,
+            10 => ErrorCode::SnapshotRejected,
+            11 => ErrorCode::Draining,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A job's terminal outcome as it travels on the wire. Reports carry
+/// the fields the identity tests compare bit-for-bit; campaign wall
+/// times and per-fault statuses stay server-side (they are profiling
+/// detail, not results).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Fault-simulation result (indices into the collapsed
+    /// representative list).
+    FaultSim {
+        /// Detected fault indices, ascending.
+        detected: Vec<usize>,
+        /// Undetected fault indices, ascending.
+        undetected: Vec<usize>,
+        /// Per-pattern first-detection credit.
+        first_detections: Vec<usize>,
+    },
+    /// Captured signature matrix geometry + packed bits.
+    Signatures {
+        /// Number of faults (rows).
+        faults: u64,
+        /// Number of patterns.
+        patterns: u64,
+        /// Number of primary outputs.
+        outputs: u64,
+        /// Row-major packed bits.
+        bits: Vec<u64>,
+    },
+    /// Campaign results (the deterministic fields; wall times stay
+    /// server-side).
+    Campaign {
+        /// The final compacted pattern set.
+        patterns: Vec<Vec<bool>>,
+        /// Size of the targeted fault list.
+        total_faults: u64,
+        /// Faults first detected in the random phase.
+        detected_random: u64,
+        /// Faults first detected deterministically.
+        detected_deterministic: u64,
+        /// Faults proved redundant.
+        untestable: u64,
+        /// Faults abandoned at the backtrack limit.
+        aborted: u64,
+        /// Total PODEM invocations.
+        podem_calls: u64,
+    },
+    /// The job was cancelled before it finished.
+    Cancelled,
+    /// The job's deadline expired before it finished.
+    TimedOut,
+    /// The job could not produce a result.
+    Failed {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+const OUTCOME_TAG_FAULTSIM: u8 = 1;
+const OUTCOME_TAG_SIGNATURES: u8 = 2;
+const OUTCOME_TAG_CAMPAIGN: u8 = 3;
+const OUTCOME_TAG_CANCELLED: u8 = 4;
+const OUTCOME_TAG_TIMED_OUT: u8 = 5;
+const OUTCOME_TAG_FAILED: u8 = 6;
+
+impl WireOutcome {
+    /// Project an engine [`JobOutcome`] onto its wire form — the
+    /// conversion the server applies before the final frame of an
+    /// `AwaitJob`, and the one identity tests apply to their in-process
+    /// reference outcomes.
+    #[must_use]
+    pub fn from_outcome(outcome: &JobOutcome) -> Self {
+        match outcome {
+            JobOutcome::FaultSim(report) => Self::from_fault_sim(report),
+            JobOutcome::Signatures(matrix) => Self::from_signatures(matrix),
+            JobOutcome::Campaign(report) => Self::from_campaign(report),
+            JobOutcome::Diagnosis(_) => WireOutcome::Failed {
+                reason: String::from("diagnosis jobs are not served over the wire"),
+            },
+            JobOutcome::Cancelled => WireOutcome::Cancelled,
+            JobOutcome::TimedOut => WireOutcome::TimedOut,
+            JobOutcome::Failed { reason } => WireOutcome::Failed {
+                reason: reason.clone(),
+            },
+        }
+    }
+
+    /// Wire form of a [`FaultSimReport`].
+    #[must_use]
+    pub fn from_fault_sim(report: &FaultSimReport) -> Self {
+        WireOutcome::FaultSim {
+            detected: report.detected.clone(),
+            undetected: report.undetected.clone(),
+            first_detections: report.first_detections.clone(),
+        }
+    }
+
+    /// Wire form of a [`SignatureMatrix`].
+    #[must_use]
+    pub fn from_signatures(matrix: &SignatureMatrix) -> Self {
+        WireOutcome::Signatures {
+            faults: matrix.fault_count() as u64,
+            patterns: matrix.pattern_count() as u64,
+            outputs: matrix.output_count() as u64,
+            bits: matrix.bits().to_vec(),
+        }
+    }
+
+    /// Wire form of an [`AtpgReport`] (deterministic fields only).
+    #[must_use]
+    pub fn from_campaign(report: &AtpgReport) -> Self {
+        WireOutcome::Campaign {
+            patterns: report.patterns.clone(),
+            total_faults: report.total_faults as u64,
+            detected_random: report.detected_random as u64,
+            detected_deterministic: report.detected_deterministic as u64,
+            untestable: report.untestable as u64,
+            aborted: report.aborted as u64,
+            podem_calls: report.podem_calls as u64,
+        }
+    }
+
+    /// Rebuild the [`SignatureMatrix`] a `Signatures` outcome carries.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when this is not a `Signatures` outcome
+    /// or the geometry does not match the word count.
+    pub fn to_signature_matrix(&self) -> Result<SignatureMatrix, WireError> {
+        match self {
+            WireOutcome::Signatures {
+                faults,
+                patterns,
+                outputs,
+                bits,
+            } => SignatureMatrix::from_raw_parts(
+                *faults as usize,
+                *patterns as usize,
+                *outputs as usize,
+                bits.clone(),
+            )
+            .map_err(|detail| WireError::Malformed {
+                context: "signature matrix",
+                detail,
+            }),
+            _ => Err(WireError::Malformed {
+                context: "signature matrix",
+                detail: String::from("outcome is not a signature capture"),
+            }),
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WireOutcome::FaultSim {
+                detected,
+                undetected,
+                first_detections,
+            } => {
+                out.push(OUTCOME_TAG_FAULTSIM);
+                put_indices(out, detected, "detected fault");
+                put_indices(out, undetected, "undetected fault");
+                put_indices(out, first_detections, "first detection");
+            }
+            WireOutcome::Signatures {
+                faults,
+                patterns,
+                outputs,
+                bits,
+            } => {
+                out.push(OUTCOME_TAG_SIGNATURES);
+                put_u64(out, *faults);
+                put_u64(out, *patterns);
+                put_u64(out, *outputs);
+                put_u64s(out, bits, "signature word");
+            }
+            WireOutcome::Campaign {
+                patterns,
+                total_faults,
+                detected_random,
+                detected_deterministic,
+                untestable,
+                aborted,
+                podem_calls,
+            } => {
+                out.push(OUTCOME_TAG_CAMPAIGN);
+                put_u64(out, *total_faults);
+                put_u64(out, *detected_random);
+                put_u64(out, *detected_deterministic);
+                put_u64(out, *untestable);
+                put_u64(out, *aborted);
+                put_u64(out, *podem_calls);
+                put_patterns(out, patterns);
+            }
+            WireOutcome::Cancelled => out.push(OUTCOME_TAG_CANCELLED),
+            WireOutcome::TimedOut => out.push(OUTCOME_TAG_TIMED_OUT),
+            WireOutcome::Failed { reason } => {
+                out.push(OUTCOME_TAG_FAILED);
+                put_str(out, reason);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            OUTCOME_TAG_FAULTSIM => Ok(WireOutcome::FaultSim {
+                detected: r.indices("detected faults")?,
+                undetected: r.indices("undetected faults")?,
+                first_detections: r.indices("first detections")?,
+            }),
+            OUTCOME_TAG_SIGNATURES => Ok(WireOutcome::Signatures {
+                faults: r.u64()?,
+                patterns: r.u64()?,
+                outputs: r.u64()?,
+                bits: r.u64s("signature words")?,
+            }),
+            OUTCOME_TAG_CAMPAIGN => Ok(WireOutcome::Campaign {
+                total_faults: r.u64()?,
+                detected_random: r.u64()?,
+                detected_deterministic: r.u64()?,
+                untestable: r.u64()?,
+                aborted: r.u64()?,
+                podem_calls: r.u64()?,
+                patterns: r.patterns("campaign patterns")?,
+            }),
+            OUTCOME_TAG_CANCELLED => Ok(WireOutcome::Cancelled),
+            OUTCOME_TAG_TIMED_OUT => Ok(WireOutcome::TimedOut),
+            OUTCOME_TAG_FAILED => Ok(WireOutcome::Failed {
+                reason: r.str("failure reason")?,
+            }),
+            other => Err(WireError::Malformed {
+                context: "outcome tag",
+                detail: format!("unknown outcome tag {other}"),
+            }),
+        }
+    }
+}
+
+/// Server counters shipped by [`Response::StatsReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Currently open sessions.
+    pub sessions: u64,
+    /// Jobs accepted over the server's lifetime.
+    pub jobs_submitted: u64,
+    /// Registry hits.
+    pub hits: u64,
+    /// Registry misses.
+    pub misses: u64,
+    /// Compile-pipeline runs actually performed.
+    pub compiles: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Currently resident registry entries.
+    pub entries: u64,
+    /// Currently resident registry bytes.
+    pub bytes: u64,
+    /// Registry byte capacity.
+    pub capacity: u64,
+}
+
+/// A server response, one frame each (an `AwaitJob` elicits a stream of
+/// [`Response::Progress`] frames capped by one [`Response::Outcome`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A circuit was registered (or was already resident).
+    Registered {
+        /// Content-hash registry key — the handle every job names.
+        key: u64,
+        /// Approximate resident bytes of the compiled artifact.
+        approx_bytes: u64,
+    },
+    /// A job was accepted.
+    Submitted {
+        /// Engine job id, scoped to this session.
+        job: u64,
+    },
+    /// One progress observation.
+    Progress {
+        /// The observed job.
+        job: u64,
+        /// Work units finished.
+        done: u64,
+        /// Total work units.
+        total: u64,
+        /// Whether the job has reached a terminal outcome.
+        finished: bool,
+    },
+    /// A job's terminal outcome.
+    Outcome {
+        /// The finished job.
+        job: u64,
+        /// Its wire-form outcome.
+        outcome: WireOutcome,
+    },
+    /// Raw `.sinw` snapshot bytes.
+    SnapshotBytes {
+        /// The container bytes, decodable by
+        /// [`Snapshot::decode`](crate::snapshot::Snapshot::decode).
+        bytes: Vec<u8>,
+    },
+    /// Server counters.
+    StatsReport(WireStats),
+    /// A typed error.
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode into `(frame_type, payload)`, ready for [`write_frame`].
+    #[must_use]
+    pub fn encode(&self) -> (u16, Vec<u8>) {
+        let mut out = Vec::new();
+        let ty = match self {
+            Response::Registered { key, approx_bytes } => {
+                put_u64(&mut out, *key);
+                put_u64(&mut out, *approx_bytes);
+                frame_type::REGISTERED
+            }
+            Response::Submitted { job } => {
+                put_u64(&mut out, *job);
+                frame_type::SUBMITTED
+            }
+            Response::Progress {
+                job,
+                done,
+                total,
+                finished,
+            } => {
+                put_u64(&mut out, *job);
+                put_u64(&mut out, *done);
+                put_u64(&mut out, *total);
+                put_bool(&mut out, *finished);
+                frame_type::PROGRESS
+            }
+            Response::Outcome { job, outcome } => {
+                put_u64(&mut out, *job);
+                outcome.encode_into(&mut out);
+                frame_type::OUTCOME
+            }
+            Response::SnapshotBytes { bytes } => {
+                out.extend_from_slice(bytes);
+                frame_type::SNAPSHOT_BYTES
+            }
+            Response::StatsReport(stats) => {
+                put_u64(&mut out, stats.sessions);
+                put_u64(&mut out, stats.jobs_submitted);
+                put_u64(&mut out, stats.hits);
+                put_u64(&mut out, stats.misses);
+                put_u64(&mut out, stats.compiles);
+                put_u64(&mut out, stats.evictions);
+                put_u64(&mut out, stats.entries);
+                put_u64(&mut out, stats.bytes);
+                put_u64(&mut out, stats.capacity);
+                frame_type::STATS_REPORT
+            }
+            Response::Error { code, message } => {
+                put_u16(&mut out, code.code());
+                put_str(&mut out, message);
+                frame_type::ERROR
+            }
+        };
+        (ty, out)
+    }
+
+    /// Decode a response payload. Total, full-consumption, typed — the
+    /// mirror of [`Request::decode`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownFrameType`] when `ty` is not a response
+    /// code; otherwise the typed decode failure.
+    pub fn decode(ty: u16, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match ty {
+            frame_type::REGISTERED => Response::Registered {
+                key: r.u64()?,
+                approx_bytes: r.u64()?,
+            },
+            frame_type::SUBMITTED => Response::Submitted { job: r.u64()? },
+            frame_type::PROGRESS => Response::Progress {
+                job: r.u64()?,
+                done: r.u64()?,
+                total: r.u64()?,
+                finished: r.bool("progress finished")?,
+            },
+            frame_type::OUTCOME => Response::Outcome {
+                job: r.u64()?,
+                outcome: WireOutcome::decode_from(&mut r)?,
+            },
+            frame_type::SNAPSHOT_BYTES => Response::SnapshotBytes { bytes: r.rest() },
+            frame_type::STATS_REPORT => Response::StatsReport(WireStats {
+                sessions: r.u64()?,
+                jobs_submitted: r.u64()?,
+                hits: r.u64()?,
+                misses: r.u64()?,
+                compiles: r.u64()?,
+                evictions: r.u64()?,
+                entries: r.u64()?,
+                bytes: r.u64()?,
+                capacity: r.u64()?,
+            }),
+            frame_type::ERROR => {
+                let raw = r.u16()?;
+                let code = ErrorCode::from_code(raw).ok_or_else(|| WireError::Malformed {
+                    context: "error code",
+                    detail: format!("unknown error code {raw}"),
+                })?;
+                Response::Error {
+                    code,
+                    message: r.str("error message")?,
+                }
+            }
+            other => return Err(WireError::UnknownFrameType { found: other }),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_request(req: &Request) {
+        let (ty, payload) = req.encode();
+        let decoded = Request::decode(ty, &payload).expect("round trip");
+        assert_eq!(&decoded, req);
+    }
+
+    fn round_trip_response(resp: &Response) {
+        let (ty, payload) = resp.encode();
+        let decoded = Response::decode(ty, &payload).expect("round trip");
+        assert_eq!(&decoded, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(&Request::RegisterBench {
+            name: String::from("c17"),
+            source: String::from("INPUT(a)\nOUTPUT(z)\nz = NAND(a, a)\n"),
+        });
+        round_trip_request(&Request::RegisterSnapshot {
+            bytes: vec![1, 2, 3, 255],
+        });
+        round_trip_request(&Request::SubmitJob(WireJob::FaultSim {
+            key: 0xDEAD_BEEF,
+            patterns: vec![vec![true, false, true], vec![false, false, true]],
+            drop_detected: true,
+            threads: 2,
+            timeout_ms: 5000,
+        }));
+        round_trip_request(&Request::SubmitJob(WireJob::Signatures {
+            key: 7,
+            patterns: vec![],
+            threads: 1,
+            timeout_ms: 0,
+        }));
+        round_trip_request(&Request::SubmitJob(WireJob::Campaign {
+            key: 9,
+            seed: 42,
+            timeout_ms: 100,
+        }));
+        round_trip_request(&Request::JobProgress { job: 3 });
+        round_trip_request(&Request::CancelJob { job: 4 });
+        round_trip_request(&Request::AwaitJob { job: 5 });
+        round_trip_request(&Request::FetchSnapshot { key: 6 });
+        round_trip_request(&Request::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(&Response::Registered {
+            key: 1,
+            approx_bytes: 4096,
+        });
+        round_trip_response(&Response::Submitted { job: 2 });
+        round_trip_response(&Response::Progress {
+            job: 2,
+            done: 3,
+            total: 9,
+            finished: false,
+        });
+        round_trip_response(&Response::Outcome {
+            job: 2,
+            outcome: WireOutcome::FaultSim {
+                detected: vec![0, 2, 5],
+                undetected: vec![1],
+                first_detections: vec![2, 0, 1],
+            },
+        });
+        round_trip_response(&Response::Outcome {
+            job: 3,
+            outcome: WireOutcome::Signatures {
+                faults: 2,
+                patterns: 4,
+                outputs: 8,
+                bits: vec![0xAAAA, 0x5555],
+            },
+        });
+        round_trip_response(&Response::Outcome {
+            job: 4,
+            outcome: WireOutcome::Campaign {
+                patterns: vec![vec![true, true], vec![false, true]],
+                total_faults: 10,
+                detected_random: 4,
+                detected_deterministic: 5,
+                untestable: 1,
+                aborted: 0,
+                podem_calls: 6,
+            },
+        });
+        round_trip_response(&Response::Outcome {
+            job: 5,
+            outcome: WireOutcome::Cancelled,
+        });
+        round_trip_response(&Response::Outcome {
+            job: 6,
+            outcome: WireOutcome::TimedOut,
+        });
+        round_trip_response(&Response::Outcome {
+            job: 7,
+            outcome: WireOutcome::Failed {
+                reason: String::from("injected"),
+            },
+        });
+        round_trip_response(&Response::SnapshotBytes { bytes: vec![0; 64] });
+        round_trip_response(&Response::StatsReport(WireStats {
+            sessions: 1,
+            jobs_submitted: 2,
+            hits: 3,
+            misses: 4,
+            compiles: 5,
+            evictions: 6,
+            entries: 7,
+            bytes: 8,
+            capacity: 9,
+        }));
+        round_trip_response(&Response::Error {
+            code: ErrorCode::ByteQuota,
+            message: String::from("quota exhausted"),
+        });
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let (ty, payload) = Request::JobProgress { job: 17 }.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ty, &payload).expect("write");
+        let mut cursor = Cursor::new(buf);
+        match read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).expect("read") {
+            FrameEvent::Frame {
+                frame_type,
+                payload,
+            } => {
+                assert_eq!(frame_type, ty);
+                assert_eq!(
+                    Request::decode(frame_type, &payload).expect("decode"),
+                    Request::JobProgress { job: 17 }
+                );
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // And the stream is now cleanly closed.
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).expect("eof"),
+            FrameEvent::Closed
+        );
+    }
+
+    #[test]
+    fn hostile_length_dies_before_allocation() {
+        let mut frame = encode_frame(frame_type::STATS, &[]);
+        frame[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect_err("must reject");
+        assert!(matches!(err, WireError::Oversized { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_payload_are_rejected() {
+        let (ty, mut payload) = Request::JobProgress { job: 1 }.encode();
+        payload.push(0);
+        let err = Request::decode(ty, &payload).expect_err("must reject");
+        assert_eq!(err, WireError::TrailingBytes { extra: 1 });
+    }
+
+    #[test]
+    fn unknown_frame_types_are_typed() {
+        assert_eq!(
+            Request::decode(0x7E, &[]),
+            Err(WireError::UnknownFrameType { found: 0x7E })
+        );
+        assert_eq!(
+            Response::decode(0xFE, &[]),
+            Err(WireError::UnknownFrameType { found: 0xFE })
+        );
+        // A response code handed to the request decoder is unknown too.
+        assert!(matches!(
+            Request::decode(frame_type::ERROR, &[]),
+            Err(WireError::UnknownFrameType { .. })
+        ));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::UnknownRequest,
+            ErrorCode::Parse,
+            ErrorCode::CompileFailed,
+            ErrorCode::Oversized,
+            ErrorCode::ByteQuota,
+            ErrorCode::JobQuota,
+            ErrorCode::UnknownJob,
+            ErrorCode::UnknownKey,
+            ErrorCode::SnapshotRejected,
+            ErrorCode::Draining,
+        ] {
+            assert_eq!(ErrorCode::from_code(code.code()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(999), None);
+    }
+}

@@ -1,0 +1,320 @@
+//! Concurrent-client determinism over the wire: racing registrations
+//! compile exactly once, wire-served job results are bit-identical to
+//! direct serial engine calls, distinct-circuit races stay isolated,
+//! and a streamed `AwaitJob` exposes the job's chunk-by-chunk advance.
+
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use sinw_atpg::faultsim::seeded_patterns;
+use sinw_atpg::simulate_faults;
+use sinw_server::failpoint::{self, FailAction, FailConfig};
+use sinw_server::jobs::{JobEngine, JobOutcome, JobSpec};
+use sinw_server::net::{NetClient, NetConfig, NetServer};
+use sinw_server::registry::compile_circuit;
+use sinw_server::wire::{WireJob, WireOutcome};
+use sinw_switch::generate::carry_select_adder;
+use sinw_switch::iscas::{parse_bench, to_bench, CSA16_BENCH};
+
+/// Fail-point state is process-global; tests that arm (or must observe
+/// zero) injections serialize on one lock.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The fault-free serial reference for the csa16 fixture at `n`
+/// patterns: the exact wire outcome every served job must reproduce.
+fn csa16_reference(n_patterns: usize, seed: u64) -> (Vec<Vec<bool>>, WireOutcome) {
+    let circuit = parse_bench(CSA16_BENCH).expect("fixture parses");
+    let compiled = compile_circuit("csa16", circuit);
+    let patterns = seeded_patterns(compiled.circuit().primary_inputs().len(), n_patterns, seed);
+    let report = simulate_faults(
+        compiled.circuit(),
+        &compiled.collapsed().representatives,
+        &patterns,
+        true,
+    );
+    (patterns, WireOutcome::from_fault_sim(&report))
+}
+
+fn race(clients: usize) {
+    let _serial = serial();
+    failpoint::clear();
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let (patterns, reference) = csa16_reference(32, 0x5EED ^ clients as u64);
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let results: Vec<(u64, WireOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let patterns = patterns.clone();
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("connect");
+                    barrier.wait();
+                    let (key, _) = client
+                        .register_bench("csa16", CSA16_BENCH)
+                        .expect("racing registration succeeds");
+                    let job = client
+                        .submit(WireJob::FaultSim {
+                            key,
+                            patterns,
+                            drop_detected: true,
+                            threads: 2,
+                            timeout_ms: 120_000,
+                        })
+                        .expect("submit");
+                    let outcome = client.await_job(job, |_, _| {}).expect("await");
+                    (key, outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let stats = server.registry().stats();
+    assert_eq!(
+        stats.compiles, 1,
+        "{clients} racing clients must cost exactly one compile"
+    );
+    assert!(stats.hits >= (clients as u64) - 1);
+    let first_key = results[0].0;
+    for (key, outcome) in &results {
+        assert_eq!(*key, first_key, "every racer sees the same content key");
+        assert_eq!(
+            outcome, &reference,
+            "wire-served result must be bit-identical to the serial reference"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn two_racing_clients_compile_once_and_agree_with_serial() {
+    race(2);
+}
+
+#[test]
+fn four_racing_clients_compile_once_and_agree_with_serial() {
+    race(4);
+}
+
+#[test]
+fn eight_racing_clients_compile_once_and_agree_with_serial() {
+    race(8);
+}
+
+#[test]
+fn distinct_circuit_races_stay_isolated() {
+    let _serial = serial();
+    failpoint::clear();
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    // Four distinct generated adders, one per client, racing. The
+    // reference compiles the exact bench text the client will send.
+    let widths = [4usize, 6, 8, 10];
+    let sources: Vec<String> = widths
+        .iter()
+        .map(|&w| to_bench(&carry_select_adder(w, 2), &format!("csel{w}")))
+        .collect();
+    let references: Vec<(Vec<Vec<bool>>, WireOutcome)> = widths
+        .iter()
+        .zip(&sources)
+        .map(|(&w, source)| {
+            let circuit = parse_bench(source).expect("exported bench parses");
+            let compiled = compile_circuit(&format!("csel{w}"), circuit);
+            let patterns = seeded_patterns(compiled.circuit().primary_inputs().len(), 24, w as u64);
+            let report = simulate_faults(
+                compiled.circuit(),
+                &compiled.collapsed().representatives,
+                &patterns,
+                true,
+            );
+            (patterns, WireOutcome::from_fault_sim(&report))
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(widths.len()));
+    let keys: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = widths
+            .iter()
+            .zip(&sources)
+            .zip(&references)
+            .map(|((&w, source), (patterns, reference))| {
+                let barrier = Arc::clone(&barrier);
+                let patterns = patterns.clone();
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("connect");
+                    barrier.wait();
+                    let (key, _) = client
+                        .register_bench(&format!("csel{w}"), source)
+                        .expect("register");
+                    let job = client
+                        .submit(WireJob::FaultSim {
+                            key,
+                            patterns,
+                            drop_detected: true,
+                            threads: 1,
+                            timeout_ms: 120_000,
+                        })
+                        .expect("submit");
+                    let outcome = client.await_job(job, |_, _| {}).expect("await");
+                    assert_eq!(
+                        &outcome, reference,
+                        "width-{w} result crossed wires with another circuit"
+                    );
+                    key
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    // Four distinct circuits: four distinct keys, four compiles.
+    let mut unique = keys.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(
+        unique.len(),
+        widths.len(),
+        "distinct circuits, distinct keys"
+    );
+    assert_eq!(server.registry().stats().compiles, widths.len() as u64);
+    server.shutdown();
+}
+
+/// The acceptance path of the issue: a loopback client registers a
+/// circuit, submits a job, observes **≥ 2 distinct streamed progress
+/// values** before completion, and receives a result bit-identical to
+/// the in-process `JobEngine` path.
+#[test]
+fn streamed_progress_advances_and_outcome_matches_in_process_engine() {
+    let _serial = serial();
+    failpoint::clear();
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let circuit = parse_bench(CSA16_BENCH).expect("fixture parses");
+    let compiled = Arc::new(compile_circuit("csa16", circuit));
+    let patterns = Arc::new(seeded_patterns(
+        compiled.circuit().primary_inputs().len(),
+        48,
+        0xA11CE,
+    ));
+
+    // In-process reference through the same engine type.
+    let engine = JobEngine::new(2);
+    let reference = match engine
+        .submit(JobSpec::FaultSim {
+            compiled: Arc::clone(&compiled),
+            patterns: Arc::clone(&patterns),
+            drop_detected: false,
+            threads: 2,
+        })
+        .wait()
+    {
+        outcome @ JobOutcome::FaultSim(_) => WireOutcome::from_outcome(&outcome),
+        other => panic!("reference job failed: {other:?}"),
+    };
+    engine.shutdown();
+
+    // Slow every chunk so the wire stream can observe the advance
+    // chunk by chunk.
+    let _delay = failpoint::scoped(
+        "jobs.faultsim.chunk",
+        FailConfig::always(FailAction::Delay(Duration::from_millis(5))),
+    );
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    let (key, _) = client
+        .register_bench("csa16", CSA16_BENCH)
+        .expect("register");
+    let job = client
+        .submit(WireJob::FaultSim {
+            key,
+            patterns: patterns.as_ref().clone(),
+            drop_detected: false,
+            threads: 1,
+            timeout_ms: 120_000,
+        })
+        .expect("submit");
+
+    let mut observed: Vec<(u64, u64)> = Vec::new();
+    let outcome = client
+        .await_job(job, |done, total| observed.push((done, total)))
+        .expect("await");
+
+    let distinct: std::collections::BTreeSet<u64> =
+        observed.iter().map(|&(done, _)| done).collect();
+    assert!(
+        distinct.len() >= 2,
+        "expected >= 2 distinct streamed progress values, saw {observed:?}"
+    );
+    let (final_done, final_total) = *observed.last().expect("at least one frame");
+    assert_eq!(final_done, final_total, "the final frame shows completion");
+    assert!(final_total >= 2, "csa16 spans multiple chunks");
+    assert!(
+        observed.windows(2).all(|w| w[0].0 <= w[1].0),
+        "progress is monotone: {observed:?}"
+    );
+    assert_eq!(
+        outcome, reference,
+        "wire outcome must be bit-identical to the in-process engine path"
+    );
+    server.shutdown();
+}
+
+/// Cancellation over the wire reaches a terminal `Cancelled` outcome.
+#[test]
+fn cancel_over_the_wire_terminates_the_job() {
+    let _serial = serial();
+    failpoint::clear();
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    // Slow chunks give cancellation a window to land mid-job.
+    let _delay = failpoint::scoped(
+        "jobs.faultsim.chunk",
+        FailConfig::always(FailAction::Delay(Duration::from_millis(20))),
+    );
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    let (key, _) = client
+        .register_bench("csa16", CSA16_BENCH)
+        .expect("register");
+    let patterns = {
+        let circuit = parse_bench(CSA16_BENCH).expect("fixture parses");
+        seeded_patterns(circuit.primary_inputs().len(), 32, 77)
+    };
+    let job = client
+        .submit(WireJob::FaultSim {
+            key,
+            patterns,
+            drop_detected: false,
+            threads: 1,
+            timeout_ms: 120_000,
+        })
+        .expect("submit");
+    let (_, _, finished) = client.cancel(job).expect("cancel");
+    let _ = finished; // may or may not have landed before completion
+    let outcome = client.await_job(job, |_, _| {}).expect("await");
+    assert!(
+        matches!(
+            outcome,
+            WireOutcome::Cancelled | WireOutcome::FaultSim { .. }
+        ),
+        "cancel resolves to a terminal outcome: {outcome:?}"
+    );
+    server.shutdown();
+}
