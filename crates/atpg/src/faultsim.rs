@@ -769,7 +769,7 @@ fn first_detections_for<const L: usize>(
     })
 }
 
-fn report_from(firsts: Vec<Option<usize>>, n_patterns: usize) -> FaultSimReport {
+pub(crate) fn report_from(firsts: Vec<Option<usize>>, n_patterns: usize) -> FaultSimReport {
     let mut detected = Vec::new();
     let mut undetected = Vec::new();
     let mut first_detections = vec![0usize; n_patterns];
@@ -824,7 +824,7 @@ macro_rules! dispatch_lanes {
 }
 
 /// Worker count resolution shared by the threaded engines: 0 = auto.
-fn resolve_threads(threads: usize) -> usize {
+pub(crate) fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -835,7 +835,7 @@ fn resolve_threads(threads: usize) -> usize {
 /// Chunk granularity for the work-stealing queue: nominally eight chunks
 /// per worker so there is slack to steal, capped at 64 faults per chunk
 /// so big universes stay fine-grained, floored at one.
-fn steal_chunk_size(n_faults: usize, workers: usize) -> usize {
+pub(crate) fn steal_chunk_size(n_faults: usize, workers: usize) -> usize {
     n_faults.div_ceil(workers * 8).clamp(1, 64)
 }
 

@@ -65,7 +65,9 @@ pub mod redundancy;
 pub mod sof;
 pub mod steal;
 pub mod tpg;
+pub mod transition;
 pub mod twin;
+pub mod unroll;
 
 pub use collapse::{collapse, CollapsedFaults};
 pub use diagnose::{
@@ -91,3 +93,10 @@ pub use redundancy::RedundancyProver;
 pub use sof::{cell_sof_tests, generate_sof_test, CircuitTwoPattern, SofResult, TwoPattern};
 pub use steal::WorkQueue;
 pub use tpg::{merge_cubes, AtpgConfig, AtpgEngine, AtpgReport, FaultStatus};
+pub use transition::{
+    capture_transition_signatures, capture_transition_signatures_lanes, enumerate_transition,
+    simulate_transition, simulate_transition_lanes, simulate_transition_serial,
+    simulate_transition_threaded, simulate_transition_threaded_lanes, transition_oracle,
+    TransitionAtpg, TransitionAtpgConfig, TransitionAtpgReport, TransitionFault, TransitionKind,
+};
+pub use unroll::{unroll, UnrollConfig, UnrolledCircuit};

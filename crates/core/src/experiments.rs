@@ -249,6 +249,16 @@ impl Experiments {
         service(self.fast)
     }
 
+    /// Sequential-circuit run: scan insertion, stuck-at ATPG on the
+    /// per-frame scan view through the unchanged campaign engine, and
+    /// launch-on-capture transition-delay ATPG on the 2-frame time-frame
+    /// expansion. Delegates to [`sequential`] with this context's
+    /// fidelity.
+    #[must_use]
+    pub fn sequential(&self) -> SequentialResult {
+        sequential(self.fast)
+    }
+
     // ------------------------------------------------------------------
     // Table I — process steps and defect census
     // ------------------------------------------------------------------
@@ -1425,6 +1435,241 @@ pub fn service(fast: bool) -> ServiceResult {
         rows,
         stats: registry.stats(),
         jobs_bit_identical,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sequential circuits (scan, time-frame expansion, transition delay)
+// ----------------------------------------------------------------------
+
+/// One sequential benchmark's trip through the scan + LOC flow.
+#[derive(Debug, Clone)]
+pub struct SequentialRow {
+    /// Machine name (`s27`, `csa16_reg`, `mul6_reg`, …).
+    pub name: String,
+    /// Functional (non-state) primary inputs.
+    pub inputs: usize,
+    /// Functional primary outputs.
+    pub outputs: usize,
+    /// Flip-flops in the machine.
+    pub dffs: usize,
+    /// Flip-flops on the scan chain (equals `dffs` under full scan).
+    pub scanned: usize,
+    /// Cell instances in the combinational core.
+    pub cells: usize,
+    /// Cell instances in the K-frame unrolled circuit.
+    pub unrolled_cells: usize,
+    /// Collapsed stuck-at representatives targeted on the scan view.
+    pub sa_faults: usize,
+    /// Stuck-at faults detected by the campaign.
+    pub sa_detected: usize,
+    /// Stuck-at faults proved untestable.
+    pub sa_untestable: usize,
+    /// Final stuck-at pattern-set size.
+    pub sa_patterns: usize,
+    /// Stuck-at coverage of the testable universe, in [0, 1].
+    pub sa_testable_coverage: f64,
+    /// Stuck-at campaign wall time, ms.
+    pub sa_ms: f64,
+    /// Transition-delay faults targeted (full universe on the scan view).
+    pub tr_faults: usize,
+    /// Transition faults detected (random + deterministic).
+    pub tr_detected: usize,
+    /// Transition faults proved untestable.
+    pub tr_untestable: usize,
+    /// Transition faults abandoned at the backtrack limit.
+    pub tr_aborted: usize,
+    /// Final two-pattern test-set size.
+    pub tr_pairs: usize,
+    /// Transition coverage of the testable universe, in [0, 1].
+    pub tr_testable_coverage: f64,
+    /// Transition campaign wall time (both phases + compaction), ms.
+    pub tr_ms: f64,
+}
+
+/// Result of [`sequential`]: per-machine rows plus the knobs the run
+/// used.
+#[derive(Debug, Clone)]
+pub struct SequentialResult {
+    /// Per-machine rows.
+    pub rows: Vec<SequentialRow>,
+    /// Unroll depth of the `unrolled_cells` column (`SINW_SEQ_FRAMES`).
+    pub frames: usize,
+    /// Whether the run scanned every flip-flop (`SINW_SCAN`).
+    pub full_scan: bool,
+}
+
+impl SequentialResult {
+    /// Row lookup by machine name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&SequentialRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for SequentialResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Sequential circuits ({} scan, {}-frame unroll)",
+            if self.full_scan { "full" } else { "partial" },
+            self.frames
+        )?;
+        writeln!(
+            f,
+            "  machine     in  out  dff  scan  cells  unrolled  |  s-a flts   cov%  pats  \
+             sa(ms)  |  tr flts   cov%  pairs  tr(ms)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:10} {:>3}  {:>3}  {:>3}  {:>4}  {:>5}  {:>8}  |  {:>8}  {:>5.1}  {:>4}  \
+                 {:>6.1}  |  {:>7}  {:>5.1}  {:>5}  {:>6.1}",
+                r.name,
+                r.inputs,
+                r.outputs,
+                r.dffs,
+                r.scanned,
+                r.cells,
+                r.unrolled_cells,
+                r.sa_faults,
+                r.sa_testable_coverage * 100.0,
+                r.sa_patterns,
+                r.sa_ms,
+                r.tr_faults,
+                r.tr_testable_coverage * 100.0,
+                r.tr_pairs,
+                r.tr_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The sequential benchmark set: `s27` plus the registered generator
+/// variants, as `(name, machine)` pairs.
+#[must_use]
+pub fn sequential_benchmark_suite(fast: bool) -> Vec<(String, sinw_switch::seq::SeqCircuit)> {
+    sinw_switch::generate::sequential_suite(fast)
+}
+
+/// The sequential experiment: for every machine in
+/// [`sequential_benchmark_suite`], insert a scan chain
+/// (`SINW_SCAN=partial` scans every other flip-flop; anything else —
+/// the default — scans all of them), run the **unchanged**
+/// [`AtpgEngine`](sinw_atpg::AtpgEngine) stuck-at campaign on the
+/// per-frame scan view through the service layer's compile path, unroll
+/// `SINW_SEQ_FRAMES` time frames (default 2) for the size column, and
+/// run the launch-on-capture [`TransitionAtpg`](sinw_atpg::TransitionAtpg)
+/// campaign for two-pattern transition tests.
+///
+/// # Panics
+///
+/// Panics if the serial and threaded transition engines disagree on the
+/// produced pair set (a determinism-contract violation, not measurement
+/// noise), or if a transition pair set fails its own verification
+/// replay.
+#[must_use]
+pub fn sequential(fast: bool) -> SequentialResult {
+    use sinw_atpg::tpg::{AtpgConfig, AtpgEngine};
+    use sinw_atpg::transition::{
+        enumerate_transition, simulate_transition_serial, simulate_transition_threaded,
+        TransitionAtpg, TransitionAtpgConfig,
+    };
+    use sinw_atpg::unroll::{unroll, UnrollConfig};
+    use sinw_server::registry::compile_circuit;
+    use sinw_switch::scan::{insert_scan, ScanPlan};
+
+    let frames = std::env::var("SINW_SEQ_FRAMES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|k| *k >= 1)
+        .unwrap_or(2);
+    let full_scan = std::env::var("SINW_SCAN").map_or(true, |v| v.trim() != "partial");
+
+    let rows = sequential_benchmark_suite(fast)
+        .into_iter()
+        .map(|(name, seq)| {
+            let plan = if full_scan {
+                ScanPlan::Full
+            } else {
+                ScanPlan::Partial((0..seq.state_width()).step_by(2).collect())
+            };
+            let scan = insert_scan(&seq, &plan);
+            let seed = 0x5E9_D8A3_u64
+                ^ name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+                });
+            let compiled = compile_circuit(&format!("{name}-scan"), scan.circuit().clone());
+            let unrolled = unroll(&seq, &UnrollConfig::full_observability(frames));
+
+            // Phase 1: the unchanged stuck-at campaign on the scan view.
+            let config = AtpgConfig {
+                seed,
+                max_random_blocks: if fast { 16 } else { 64 },
+                ..AtpgConfig::default()
+            };
+            let t0 = std::time::Instant::now();
+            let engine = AtpgEngine::new(compiled.circuit(), config);
+            let sa = engine.run(&compiled.collapsed().representatives);
+            let sa_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            // Phase 2: launch-on-capture transition ATPG.
+            let tr_config = TransitionAtpgConfig {
+                seed: seed.rotate_left(17),
+                max_random_blocks: if fast { 16 } else { 64 },
+                ..TransitionAtpgConfig::default()
+            };
+            let t1 = std::time::Instant::now();
+            let loc = TransitionAtpg::new(&seq, tr_config);
+            let tr_faults = enumerate_transition(loc.circuit());
+            let tr = loc.run(&tr_faults);
+            let tr_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            // Verification replay: serial and threaded engines must agree
+            // bit for bit, and the pair set must detect exactly the
+            // faults the campaign classified as detected.
+            let serial = simulate_transition_serial(loc.circuit(), &tr_faults, &tr.pairs, true);
+            let threaded =
+                simulate_transition_threaded(loc.circuit(), &tr_faults, &tr.pairs, true, 0);
+            assert_eq!(serial, threaded, "{name}: transition engine determinism");
+            let classified: Vec<usize> = tr
+                .statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_detected())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(serial.detected, classified, "{name}: pair-set verification");
+
+            SequentialRow {
+                name,
+                inputs: seq.functional_inputs().len(),
+                outputs: seq.functional_outputs().len(),
+                dffs: seq.state_width(),
+                scanned: scan.cells().len(),
+                cells: seq.core().gates().len(),
+                unrolled_cells: unrolled.circuit().gates().len(),
+                sa_faults: sa.total_faults,
+                sa_detected: sa.detected(),
+                sa_untestable: sa.untestable,
+                sa_patterns: sa.patterns.len(),
+                sa_testable_coverage: sa.testable_coverage(),
+                sa_ms,
+                tr_faults: tr.total_faults,
+                tr_detected: tr.detected_random + tr.detected_deterministic,
+                tr_untestable: tr.untestable,
+                tr_aborted: tr.aborted,
+                tr_pairs: tr.pairs.len(),
+                tr_testable_coverage: tr.testable_coverage(),
+                tr_ms,
+            }
+        })
+        .collect();
+    SequentialResult {
+        rows,
+        frames,
+        full_scan,
     }
 }
 

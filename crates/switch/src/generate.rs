@@ -20,6 +20,7 @@
 
 use crate::cells::CellKind;
 use crate::gate::{Circuit, SignalId};
+use crate::seq::{pipeline, SeqCircuit};
 
 /// 2:1 selection mux: `out = x0` when `sel = 0`, `x1` when `sel = 1`,
 /// built as `NAND(NAND(x0, sel̄), NAND(x1, sel))`. `nsel` is the
@@ -222,6 +223,38 @@ pub fn generated_suite(fast: bool) -> Vec<(String, Circuit)> {
         (format!("csa{csa}"), carry_select_adder(csa, 4)),
         (format!("mul{mul}"), array_multiplier(mul)),
         (format!("par{par}"), Circuit::parity_tree(par)),
+    ]
+}
+
+/// A registered (two-stage pipelined) carry-select adder: the
+/// combinational [`carry_select_adder`] behind input and output register
+/// banks ([`crate::seq::pipeline`]).
+#[must_use]
+pub fn pipelined_carry_select_adder(width: usize, block: usize) -> SeqCircuit {
+    pipeline(&carry_select_adder(width, block))
+}
+
+/// A registered (two-stage pipelined) array multiplier.
+#[must_use]
+pub fn pipelined_array_multiplier(width: usize) -> SeqCircuit {
+    pipeline(&array_multiplier(width))
+}
+
+/// The named *sequential* workloads the sequential experiments run over:
+/// the embedded `s27` fixture plus registered variants of the generated
+/// datapaths. `fast` selects reduced widths for test runs.
+#[must_use]
+pub fn sequential_suite(fast: bool) -> Vec<(String, SeqCircuit)> {
+    let (csa, mul) = if fast { (4, 3) } else { (16, 6) };
+    let s27 = crate::iscas::parse_bench_seq(crate::iscas::S27_BENCH)
+        .expect("embedded s27 fixture parses");
+    vec![
+        ("s27".to_string(), s27),
+        (
+            format!("csa{csa}_reg"),
+            pipelined_carry_select_adder(csa, 2),
+        ),
+        (format!("mul{mul}_reg"), pipelined_array_multiplier(mul)),
     ]
 }
 

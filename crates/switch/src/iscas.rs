@@ -1,26 +1,34 @@
-//! ISCAS-85 `.bench` benchmark frontend.
+//! ISCAS-85/89 `.bench` benchmark frontend.
 //!
 //! Parses the classic gate-level benchmark format into a [`Circuit`] over
-//! the Fig. 2 CP cell library, and exports circuits back to `.bench` text.
+//! the Fig. 2 CP cell library — or, with `DFF` cells, into a
+//! [`SeqCircuit`] — and exports circuits back to `.bench` text.
 //! This is what lets the fault-coverage experiments of Sections V–VI run on
 //! standard workloads instead of hand-assembled toy netlists.
 //!
 //! ## Format subset
 //!
 //! The accepted grammar is the common denominator of the ISCAS-85/89
-//! distributions (combinational part only):
+//! distributions:
 //!
 //! ```text
 //! # comment                    — ignored
 //! INPUT(name)                  — primary input
 //! OUTPUT(name)                 — primary output (may repeat, may be a PI)
 //! name = GATE(a, b, …)         — gate driving net `name`
+//! name = DFF(d)                — D flip-flop driving net `name` (ISCAS-89)
 //! ```
 //!
 //! `GATE` is one of `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR`, `NOT`,
 //! `BUFF` (case-insensitive), at any arity ≥ 1 (`NOT`/`BUFF` take exactly
 //! one input). Gates may appear in any order; the parser topologically
-//! sorts them and rejects combinational loops.
+//! sorts them and rejects combinational loops. Feedback *through a `DFF`*
+//! is not a loop: the flip-flop's `Q` net is a pseudo-PI of the
+//! combinational core (the Huffman model of [`crate::seq`]), so
+//! [`parse_bench_seq`] accepts the ISCAS-89 sequential benchmarks while
+//! the combinational entry point [`parse_bench`] rejects any `DFF` line
+//! with a dedicated, line-numbered
+//! [`BenchErrorKind::SequentialElement`] error.
 //!
 //! ## Mapping onto the CP cell library
 //!
@@ -50,6 +58,7 @@
 
 use crate::cells::CellKind;
 use crate::gate::{Circuit, SignalId};
+use crate::seq::{Dff, SeqCircuit};
 use std::collections::HashMap;
 
 /// The embedded ISCAS-85 `c17` benchmark (six NAND2 gates) — the smallest
@@ -62,10 +71,24 @@ pub const C17_BENCH: &str = include_str!("fixtures/c17.bench");
 /// decomposition paths (`AND`/`OR` trees, `BUFF`) that `c17` does not.
 pub const CSA16_BENCH: &str = include_str!("fixtures/csa16.bench");
 
-/// All embedded `.bench` fixtures as `(name, text)` pairs.
+/// The embedded ISCAS-89 `s27` benchmark: the smallest standard
+/// *sequential* ATPG exercise — 4 inputs, 1 output, 3 `DFF`s, 10 gates
+/// (13 CP cells after mapping) with genuine feedback through the state.
+/// Golden fixture for scan insertion, time-frame expansion, and the
+/// transition-delay campaign.
+pub const S27_BENCH: &str = include_str!("fixtures/s27.bench");
+
+/// All embedded *combinational* `.bench` fixtures as `(name, text)` pairs.
 #[must_use]
 pub fn embedded_benchmarks() -> Vec<(&'static str, &'static str)> {
     vec![("c17", C17_BENCH), ("csa16", CSA16_BENCH)]
+}
+
+/// All embedded *sequential* (ISCAS-89 subset) `.bench` fixtures as
+/// `(name, text)` pairs; parse them with [`parse_bench_seq`].
+#[must_use]
+pub fn embedded_sequential_benchmarks() -> Vec<(&'static str, &'static str)> {
+    vec![("s27", S27_BENCH)]
 }
 
 /// A `.bench` gate type.
@@ -125,11 +148,20 @@ pub enum BenchErrorKind {
         /// Number of fan-ins supplied.
         got: usize,
     },
-    /// The file declares no `INPUT` lines.
+    /// The file declares no `INPUT` lines (and, on the sequential path,
+    /// no `DFF` state either).
     NoInputs,
     /// The file declares no `OUTPUT` lines.
     NoOutputs,
+    /// A `DFF` line reached the combinational-only entry point
+    /// ([`parse_bench`]); sequential `.bench` text needs
+    /// [`parse_bench_seq`].
+    SequentialElement(String),
 }
+
+/// The gate types [`parse_bench`] accepts, for legible unknown-gate
+/// errors.
+const SUPPORTED_GATES: &str = "AND, NAND, OR, NOR, XOR, XNOR, NOT, BUFF, DFF";
 
 /// A `.bench` parse error with its 1-based source line (0 for whole-file
 /// errors such as [`BenchErrorKind::NoInputs`]).
@@ -148,7 +180,9 @@ impl std::fmt::Display for BenchParseError {
         }
         match &self.kind {
             BenchErrorKind::Syntax(s) => write!(f, "syntax error: {s}"),
-            BenchErrorKind::UnknownGateType(g) => write!(f, "unknown gate type {g:?}"),
+            BenchErrorKind::UnknownGateType(g) => {
+                write!(f, "unknown gate type {g:?} (supported: {SUPPORTED_GATES})")
+            }
             BenchErrorKind::DuplicateDriver(n) => write!(f, "net {n:?} is driven twice"),
             BenchErrorKind::UndrivenNet(n) => write!(f, "net {n:?} is never driven"),
             BenchErrorKind::CombinationalLoop(n) => {
@@ -159,6 +193,11 @@ impl std::fmt::Display for BenchParseError {
             }
             BenchErrorKind::NoInputs => write!(f, "no INPUT lines"),
             BenchErrorKind::NoOutputs => write!(f, "no OUTPUT lines"),
+            BenchErrorKind::SequentialElement(n) => write!(
+                f,
+                "net {n:?} is a DFF — sequential element in combinational-only \
+                 input (use parse_bench_seq for the ISCAS-89 subset)"
+            ),
         }
     }
 }
@@ -201,19 +240,41 @@ fn split_call(s: &str) -> Option<(&str, Vec<&str>)> {
     Some((head, args))
 }
 
-/// Parse ISCAS-85-style `.bench` text into a [`Circuit`] over the CP cell
-/// library. See the [module docs](self) for the accepted subset and the
-/// gate-to-cell mapping.
+/// Parse ISCAS-85-style (combinational) `.bench` text into a [`Circuit`]
+/// over the CP cell library. See the [module docs](self) for the accepted
+/// subset and the gate-to-cell mapping.
 ///
 /// # Errors
 ///
 /// Returns a [`BenchParseError`] locating the first offending line for
 /// syntax errors, unknown gate types, double-driven or undriven nets,
-/// combinational loops, and arity violations.
+/// combinational loops, arity violations — and, on this entry point, any
+/// `DFF` line ([`BenchErrorKind::SequentialElement`]).
 pub fn parse_bench(text: &str) -> Result<Circuit, BenchParseError> {
+    parse_bench_impl(text, false).map(SeqCircuit::into_core)
+}
+
+/// Parse ISCAS-89-style `.bench` text — the combinational subset plus
+/// `name = DFF(d)` lines — into a [`SeqCircuit`]. Each `DFF`'s `Q` net
+/// becomes a pseudo-PI of the combinational core (appended after the
+/// `INPUT` nets, in `DFF`-line order), so state feedback is not a
+/// combinational loop.
+///
+/// # Errors
+///
+/// Same line-numbered contract as [`parse_bench`]; additionally a `DFF`
+/// with arity ≠ 1 is [`BenchErrorKind::BadArity`] at its own line, and a
+/// file is only [`BenchErrorKind::NoInputs`] if it has neither `INPUT`
+/// lines nor state (an autonomous machine is legal).
+pub fn parse_bench_seq(text: &str) -> Result<SeqCircuit, BenchParseError> {
+    parse_bench_impl(text, true)
+}
+
+fn parse_bench_impl(text: &str, allow_dff: bool) -> Result<SeqCircuit, BenchParseError> {
     let mut inputs: Vec<(String, usize)> = Vec::new();
     let mut outputs: Vec<(String, usize)> = Vec::new();
     let mut gates: Vec<RawGate> = Vec::new();
+    let mut dffs: Vec<(String, String, usize)> = Vec::new(); // (q, d, line)
     let mut driven: HashMap<String, usize> = HashMap::new(); // net -> defining line
 
     for (i, raw_line) in text.lines().enumerate() {
@@ -234,6 +295,25 @@ pub fn parse_bench(text: &str) -> Result<Circuit, BenchParseError> {
             let Some((head, args)) = split_call(rhs.trim()) else {
                 return Err(err(lineno, BenchErrorKind::Syntax(line.to_string())));
             };
+            if head.eq_ignore_ascii_case("DFF") {
+                if !allow_dff {
+                    return Err(err(lineno, BenchErrorKind::SequentialElement(name)));
+                }
+                if driven.insert(name.clone(), lineno).is_some() {
+                    return Err(err(lineno, BenchErrorKind::DuplicateDriver(name)));
+                }
+                if args.len() != 1 {
+                    return Err(err(
+                        lineno,
+                        BenchErrorKind::BadArity {
+                            net: name,
+                            got: args.len(),
+                        },
+                    ));
+                }
+                dffs.push((name, args[0].to_string(), lineno));
+                continue;
+            }
             let Some(gate) = BenchGate::from_str(head) else {
                 return Err(err(
                     lineno,
@@ -279,14 +359,14 @@ pub fn parse_bench(text: &str) -> Result<Circuit, BenchParseError> {
         }
     }
 
-    if inputs.is_empty() {
+    if inputs.is_empty() && dffs.is_empty() {
         return Err(err(0, BenchErrorKind::NoInputs));
     }
     if outputs.is_empty() {
         return Err(err(0, BenchErrorKind::NoOutputs));
     }
 
-    // Every fan-in must be driven by an INPUT or a gate.
+    // Every fan-in must be driven by an INPUT, a gate, or a DFF.
     for g in &gates {
         for f in &g.fanin {
             if !driven.contains_key(f) {
@@ -297,6 +377,11 @@ pub fn parse_bench(text: &str) -> Result<Circuit, BenchParseError> {
     for (name, line) in &outputs {
         if !driven.contains_key(name) {
             return Err(err(*line, BenchErrorKind::UndrivenNet(name.clone())));
+        }
+    }
+    for (_, d, line) in &dffs {
+        if !driven.contains_key(d) {
+            return Err(err(*line, BenchErrorKind::UndrivenNet(d.clone())));
         }
     }
 
@@ -336,12 +421,17 @@ pub fn parse_bench(text: &str) -> Result<Circuit, BenchParseError> {
         }
     }
 
-    // Build the circuit.
+    // Build the circuit: INPUT nets first, then one pseudo-PI per DFF
+    // `Q` net (in DFF-line order), then the gates in topological order.
     let mut circuit = Circuit::new();
     let mut net: HashMap<String, SignalId> = HashMap::new();
     for (name, _) in &inputs {
         let sig = circuit.add_input(name.clone());
         net.insert(name.clone(), sig);
+    }
+    for (q, _, _) in &dffs {
+        let sig = circuit.add_input(q.clone());
+        net.insert(q.clone(), sig);
     }
     for &i in &final_order {
         let g = &gates[i];
@@ -353,7 +443,15 @@ pub fn parse_bench(text: &str) -> Result<Circuit, BenchParseError> {
     for (name, _) in &outputs {
         circuit.mark_output(net[name.as_str()]);
     }
-    Ok(circuit)
+    let bindings: Vec<Dff> = dffs
+        .iter()
+        .map(|(q, d, _)| Dff {
+            name: q.clone(),
+            d: net[d.as_str()],
+            q: net[q.as_str()],
+        })
+        .collect();
+    Ok(SeqCircuit::new(circuit, bindings).expect("parser-built bindings are valid"))
 }
 
 /// Lower one `.bench` gate onto the CP cell library, returning the signal
@@ -484,6 +582,20 @@ fn map_bench_gate(
 /// `[A-Za-z0-9_]` rewritten to `_`, deduplicated with numeric suffixes.
 #[must_use]
 pub fn to_bench(circuit: &Circuit, title: &str) -> String {
+    bench_text(circuit, &[], title)
+}
+
+/// Export a [`SeqCircuit`] to ISCAS-89-style `.bench` text: the
+/// combinational core's gates plus one `q = DFF(d)` line per flip-flop.
+/// Flip-flop `Q` pseudo-PIs are *not* emitted as `INPUT` lines (the
+/// `DFF` line is their driver), so [`parse_bench_seq`] round-trips the
+/// text back into an equivalent machine.
+#[must_use]
+pub fn to_bench_seq(seq: &SeqCircuit, title: &str) -> String {
+    bench_text(seq.core(), seq.dffs(), title)
+}
+
+fn bench_text(circuit: &Circuit, dffs: &[Dff], title: &str) -> String {
     use std::fmt::Write as _;
 
     // Unique, format-clean net name per signal. Generated candidates are
@@ -515,20 +627,37 @@ pub fn to_bench(circuit: &Circuit, title: &str) -> String {
         names.push(candidate);
     }
 
+    let is_q: std::collections::HashSet<SignalId> = dffs.iter().map(|ff| ff.q).collect();
     let mut out = String::new();
     let _ = writeln!(out, "# {title}");
-    let _ = writeln!(
-        out,
-        "# exported by sinw-switch: {} inputs, {} outputs, {} cells",
-        circuit.primary_inputs().len(),
-        circuit.primary_outputs().len(),
-        circuit.gates().len()
-    );
+    if dffs.is_empty() {
+        let _ = writeln!(
+            out,
+            "# exported by sinw-switch: {} inputs, {} outputs, {} cells",
+            circuit.primary_inputs().len(),
+            circuit.primary_outputs().len(),
+            circuit.gates().len()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "# exported by sinw-switch: {} inputs, {} outputs, {} dffs, {} cells",
+            circuit.primary_inputs().len() - dffs.len(),
+            circuit.primary_outputs().len(),
+            dffs.len(),
+            circuit.gates().len()
+        );
+    }
     for pi in circuit.primary_inputs() {
-        let _ = writeln!(out, "INPUT({})", names[pi.0]);
+        if !is_q.contains(pi) {
+            let _ = writeln!(out, "INPUT({})", names[pi.0]);
+        }
     }
     for po in circuit.primary_outputs() {
         let _ = writeln!(out, "OUTPUT({})", names[po.0]);
+    }
+    for ff in dffs {
+        let _ = writeln!(out, "{} = DFF({})", names[ff.q.0], names[ff.d.0]);
     }
     let _ = writeln!(out);
     let mut aux = 0usize;
@@ -715,6 +844,84 @@ INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = NOT(m)\nm = NAND(a, b)\n";
             parse_bench("INPUT(a)\n").expect_err("no outputs").kind,
             BenchErrorKind::NoOutputs
         );
+    }
+
+    #[test]
+    fn s27_parses_with_three_dffs_and_feedback() {
+        let seq = parse_bench_seq(S27_BENCH).expect("embedded s27 parses");
+        assert_eq!(seq.functional_inputs().len(), 4);
+        assert_eq!(seq.functional_outputs().len(), 1);
+        assert_eq!(seq.state_width(), 3);
+        // Feedback exists: the combinational-only parser must reject it
+        // at the first DFF line (line 8 of the fixture).
+        let e = parse_bench(S27_BENCH).expect_err("combinational path rejects");
+        assert_eq!(e.kind, BenchErrorKind::SequentialElement("G5".into()));
+        assert_eq!(e.line, 8);
+    }
+
+    #[test]
+    fn seq_export_reaches_a_textual_fixed_point() {
+        let seq = parse_bench_seq(S27_BENCH).expect("parses");
+        let text1 = to_bench_seq(&seq, "s27");
+        let seq1 = parse_bench_seq(&text1).expect("exported text parses");
+        assert_eq!(seq1.state_width(), seq.state_width());
+        assert_eq!(to_bench_seq(&seq1, "s27"), text1, "fixed point in one trip");
+        // Behavioural identity over a few cycles from the all-zero state.
+        let zero = vec![Logic::Zero; 3];
+        let stim: Vec<Vec<Logic>> = (0..6u8)
+            .map(|t| {
+                (0..4)
+                    .map(|k| Logic::from_bool((t >> (k & 1)) & 1 == 1))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(seq.simulate(&zero, &stim), seq1.simulate(&zero, &stim));
+    }
+
+    #[test]
+    fn malformed_dff_lines_are_pinned_to_their_line() {
+        // Arity 2.
+        let e = parse_bench_seq("INPUT(a)\nOUTPUT(o)\no = NOT(a)\nq = DFF(a, o)\n")
+            .expect_err("DFF arity");
+        assert_eq!(e.line, 4);
+        assert_eq!(
+            e.kind,
+            BenchErrorKind::BadArity {
+                net: "q".into(),
+                got: 2
+            }
+        );
+        // Q driven twice.
+        let e = parse_bench_seq("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\nq = NOT(a)\n")
+            .expect_err("duplicate Q");
+        assert_eq!(e.line, 4);
+        assert_eq!(e.kind, BenchErrorKind::DuplicateDriver("q".into()));
+        // D net never driven.
+        let e = parse_bench_seq("INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n").expect_err("undriven D");
+        assert_eq!(e.line, 3);
+        assert_eq!(e.kind, BenchErrorKind::UndrivenNet("ghost".into()));
+    }
+
+    #[test]
+    fn autonomous_machines_parse_without_input_lines() {
+        // A 1-bit toggle has state but no functional inputs.
+        let seq = parse_bench_seq("OUTPUT(q)\nq = DFF(nq)\nnq = NOT(q)\n")
+            .expect("autonomous machine parses");
+        assert_eq!(seq.state_width(), 1);
+        assert!(seq.functional_inputs().is_empty());
+    }
+
+    #[test]
+    fn unknown_gate_error_names_the_type_line_and_supported_set() {
+        let e = parse_bench("INPUT(a)\nOUTPUT(o)\no = FROB(a)\n").expect_err("must fail");
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "line number in {msg:?}");
+        assert!(msg.contains("FROB"), "type name in {msg:?}");
+        for g in [
+            "AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUFF", "DFF",
+        ] {
+            assert!(msg.contains(g), "supported set lists {g} in {msg:?}");
+        }
     }
 
     #[test]

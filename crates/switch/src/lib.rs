@@ -39,14 +39,18 @@ pub mod gate;
 pub mod generate;
 pub mod iscas;
 pub mod netlist;
+pub mod scan;
+pub mod seq;
 pub mod sim;
 pub mod value;
 
 pub use cells::{Cell, CellKind};
 pub use fault::{FaultSet, NetFault, TransistorFault};
 pub use gate::{Circuit, CircuitError, FanoutCsr, FlatCircuit, GateId, SignalId};
-pub use generate::{array_multiplier, carry_select_adder, generated_suite};
-pub use iscas::{parse_bench, to_bench, BenchParseError};
+pub use generate::{array_multiplier, carry_select_adder, generated_suite, sequential_suite};
+pub use iscas::{parse_bench, parse_bench_seq, to_bench, to_bench_seq, BenchParseError};
 pub use netlist::{GateRole, NetId, NetKind, Netlist, NetlistError, TransistorId};
+pub use scan::{insert_scan, ScanCell, ScanCircuit, ScanPlan};
+pub use seq::{pipeline, Dff, SeqCircuit, SeqError};
 pub use sim::{SimResult, SwitchSim};
 pub use value::{Logic, Signal, Strength};
